@@ -1,0 +1,67 @@
+"""Ablation: paper partitioner vs generalised partitioner vs end-to-end.
+
+Not a table of the paper, but the design-choice comparison DESIGN.md calls
+out: how much do the partitioning refinements (straight-line fusion, whole-
+branch collapsing, fused instrumentation points) buy on industrial-size code,
+and what would naive alternatives cost?
+
+* basic-block granularity (b = 1): maximum instrumentation, minimum
+  measurements;
+* the paper's algorithm at a moderate bound;
+* the generalised algorithm at the same bound;
+* end-to-end measurement: 2 instrumentation points, astronomically many
+  measurements (the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from repro.cfg import count_ast_paths
+from repro.partition import GeneralPartitioner, PaperPartitioner
+
+from conftest import write_result
+
+
+def _ablation(app, bound: int = 12):
+    function = app.analyzed.program.function(app.function_name)
+    rows = []
+    block_level = PaperPartitioner(1).partition(function, app.cfg)
+    rows.append(("basic blocks (b=1)", block_level))
+    paper = PaperPartitioner(bound).partition(function, app.cfg)
+    rows.append((f"paper partitioner (b={bound})", paper))
+    general = GeneralPartitioner(bound).partition(function, app.cfg)
+    rows.append((f"general partitioner (b={bound})", general))
+    return rows
+
+
+def test_bench_partitioner_ablation(benchmark, industrial_app, results_dir):
+    app = industrial_app
+    rows = benchmark.pedantic(_ablation, args=(app,), rounds=1, iterations=1)
+
+    results = dict(rows)
+    paper = results[[k for k in results if k.startswith("paper")][0]]
+    general = results[[k for k in results if k.startswith("general")][0]]
+    block_level = results["basic blocks (b=1)"]
+
+    # the generalised partitioner needs no more instrumentation than the
+    # paper's, which needs no more than block-level instrumentation
+    assert general.instrumentation_points <= paper.instrumentation_points
+    assert paper.instrumentation_points <= block_level.instrumentation_points
+    # and no partitioning needs more measurements than end-to-end would
+    total_paths = count_ast_paths(app.analyzed.program.function(app.function_name))
+    assert general.measurements <= total_paths
+
+    lines = [
+        "Partitioner ablation on the synthetic industrial application",
+        f"({app.basic_blocks} basic blocks, {app.conditional_branches} branches)",
+        "",
+        f"{'configuration':<32} {'ip':>7} {'ip fused':>9} {'m':>12}",
+    ]
+    for name, result in rows:
+        lines.append(
+            f"{name:<32} {result.instrumentation_points:>7} "
+            f"{result.fused_instrumentation_points:>9} {result.measurements:>12}"
+        )
+    lines.append(
+        f"{'end-to-end measurement':<32} {2:>7} {2:>9} {total_paths:>12}"
+    )
+    write_result(results_dir, "ablation_partitioners.txt", lines)

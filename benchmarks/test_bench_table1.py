@@ -1,0 +1,48 @@
+"""Table 1: measurement effort (ip, m) over the path bound b for the example.
+
+The paper's Table 1:
+
+    b   ip   m
+    1   22  11
+    2   16   9
+    3   16   9
+    4   16   9
+    5   16   9
+    6    2   6
+    7    2   6
+
+The reproduction must match these integers exactly.
+"""
+
+from __future__ import annotations
+
+from repro.cfg import build_cfg
+from repro.partition import measurement_effort_table
+from repro.workloads.figure1 import TABLE1_EXPECTED
+
+from conftest import write_result
+
+
+def test_bench_table1_measurement_effort(benchmark, figure1, results_dir):
+    function = figure1.program.function("main")
+    cfg = build_cfg(function)
+    bounds = sorted(TABLE1_EXPECTED)
+
+    rows = benchmark(lambda: measurement_effort_table(function, bounds, cfg))
+
+    lines = [
+        "Table 1 reproduction: measurement effort with different path bound b",
+        f"{'bound b':>8} {'ip (measured)':>14} {'m (measured)':>13} "
+        f"{'ip (paper)':>11} {'m (paper)':>10}",
+    ]
+    for row in rows:
+        expected_ip, expected_m = TABLE1_EXPECTED[row["bound"]]
+        assert row["instrumentation_points"] == expected_ip, row
+        assert row["measurements"] == expected_m, row
+        lines.append(
+            f"{row['bound']:>8} {row['instrumentation_points']:>14} "
+            f"{row['measurements']:>13} {expected_ip:>11} {expected_m:>10}"
+        )
+    lines.append("")
+    lines.append("every row matches the paper exactly")
+    write_result(results_dir, "table1.txt", lines)

@@ -1,0 +1,73 @@
+"""The instrumentation/measurement trade-off on industrial-size code.
+
+Run with::
+
+    python examples/partitioning_tradeoff.py [--full]
+
+Regenerates the data behind the paper's Figures 2 and 3: a synthetic
+TargetLink-style application (by default a ~200-block one so the example runs
+in a few seconds; ``--full`` uses the paper-sized ~857-block program) is
+partitioned for a log-spaced sweep of path bounds, and the script prints the
+instrumentation-point curve (Figure 2) and the measurements-vs-points
+trade-off (Figure 3) as text plots.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.partition import GeneralPartitioner, PaperPartitioner
+from repro.workloads.targetlink import (
+    generate_small_application,
+    generate_synthetic_application,
+)
+
+BOUNDS = [1, 2, 5, 10, 50, 100, 1_000, 10_000, 100_000, 1_000_000, 10**9]
+
+
+def bar(value: int, maximum: int, width: int = 40) -> str:
+    filled = int(round(width * value / maximum)) if maximum else 0
+    return "#" * filled
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    print("generating synthetic TargetLink-style application "
+          f"({'paper size ~857 blocks' if full else '~200 blocks, use --full for paper size'}) ...")
+    app = (
+        generate_synthetic_application(seed=2005)
+        if full
+        else generate_small_application(seed=7, target_blocks=200)
+    )
+    function = app.analyzed.program.function(app.function_name)
+    print(f"  {app.basic_blocks} basic blocks, {app.conditional_branches} conditional "
+          f"branches, {app.source_lines} source lines")
+    print()
+
+    series = []
+    for bound in BOUNDS:
+        result = PaperPartitioner(bound).partition(function, app.cfg)
+        series.append((bound, result.instrumentation_points, result.measurements))
+
+    max_ip = max(ip for _, ip, _ in series)
+    print("Figure 2: instrumentation points over path bound b (log-scale bounds)")
+    print(f"{'bound b':>12} {'ip':>7}  curve")
+    for bound, ip, _ in series:
+        print(f"{bound:>12} {ip:>7}  {bar(ip, max_ip)}")
+    print()
+
+    print("Figure 3: measurements m against instrumentation points ip")
+    print(f"{'ip':>7} {'m':>14}  (note the explosion toward ip = 2 = end-to-end)")
+    for _, ip, measurements in sorted(series, key=lambda row: -row[1]):
+        print(f"{ip:>7} {measurements:>14}")
+    print()
+
+    general = GeneralPartitioner(10).partition(function, app.cfg)
+    print("Section 2.3 prose numbers (generalised partitioner, b = 10):")
+    print(f"  instrumentation points        : {general.instrumentation_points}")
+    print(f"  with fused instrumentation    : {general.fused_instrumentation_points}")
+    print(f"  measurements                  : {general.measurements}")
+
+
+if __name__ == "__main__":
+    main()

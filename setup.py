@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no `wheel` package, so PEP 660 editable installs
+(which must build a wheel) fail.  This shim lets `pip install -e .` fall back
+to the legacy `setup.py develop` code path via --no-use-pep517; all real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

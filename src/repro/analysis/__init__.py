@@ -1,0 +1,57 @@
+"""Dataflow analyses shared by the state-space optimisations and the pipeline."""
+
+from __future__ import annotations
+
+from .dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    Direction,
+    set_intersection,
+    set_union,
+    solve,
+)
+from .liveness import (
+    LivenessResult,
+    block_liveness,
+    live_range_conflicts,
+    statement_liveness,
+    unused_variables,
+)
+from .ranges import RangeAnalysisResult, RangeAnalyzer, RangeEnvironment, analyze_ranges
+from .reaching import Definition, ReachingResult, reaching_definitions
+from .relevance import (
+    RelevanceResult,
+    analyze_relevance,
+    control_relevant_variables,
+    irrelevant_statements,
+)
+from .usedef import UseDef, block_condition_uses, block_use_def, statement_use_def
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "Direction",
+    "set_intersection",
+    "set_union",
+    "solve",
+    "LivenessResult",
+    "block_liveness",
+    "live_range_conflicts",
+    "statement_liveness",
+    "unused_variables",
+    "RangeAnalysisResult",
+    "RangeAnalyzer",
+    "RangeEnvironment",
+    "analyze_ranges",
+    "Definition",
+    "ReachingResult",
+    "reaching_definitions",
+    "RelevanceResult",
+    "analyze_relevance",
+    "control_relevant_variables",
+    "irrelevant_statements",
+    "UseDef",
+    "block_condition_uses",
+    "block_use_def",
+    "statement_use_def",
+]

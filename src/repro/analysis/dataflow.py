@@ -1,0 +1,152 @@
+"""A small generic dataflow framework.
+
+All analyses in this package (liveness, reaching definitions, value ranges)
+are instances of the classic iterative worklist algorithm over a CFG.  The
+framework is deliberately tiny: an analysis provides
+
+* the direction (forward/backward),
+* the initial value of every node,
+* a ``join`` of incoming facts, and
+* a ``transfer`` function per node,
+
+and :func:`solve` iterates to a fixed point.  Facts can be any value with a
+well-defined equality; analyses over infinite-height lattices (the interval
+analysis) bound iteration through widening inside their transfer function.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
+
+NodeT = TypeVar("NodeT", bound=Hashable)
+FactT = TypeVar("FactT")
+
+
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass
+class DataflowProblem(Generic[NodeT, FactT]):
+    """Description of one dataflow analysis instance.
+
+    Attributes
+    ----------
+    nodes:
+        All graph nodes.
+    successors:
+        Forward successor function (the framework inverts it for backward
+        problems).
+    direction:
+        Forward or backward.
+    boundary:
+        Fact at the entry (forward) or exit (backward) node(s).
+    initial:
+        Initial fact of every other node.
+    join:
+        Combine the facts flowing into a node.
+    transfer:
+        Per-node transfer function: ``transfer(node, in_fact) -> out_fact``.
+    equals:
+        Fact equality (defaults to ``==``).
+    """
+
+    nodes: list[NodeT]
+    successors: Callable[[NodeT], Iterable[NodeT]]
+    direction: Direction
+    boundary_nodes: list[NodeT]
+    boundary: FactT
+    initial: FactT
+    join: Callable[[list[FactT]], FactT]
+    transfer: Callable[[NodeT, FactT], FactT]
+    equals: Callable[[FactT, FactT], bool] = lambda a, b: a == b
+    max_iterations: int = 10_000
+
+
+@dataclass
+class DataflowResult(Generic[NodeT, FactT]):
+    """Fixed-point facts: value *entering* and *leaving* each node.
+
+    For backward problems ``in_facts`` is the fact at node entry in program
+    order (i.e. the analysis result usually reported as ``live-in``).
+    """
+
+    in_facts: dict[NodeT, FactT]
+    out_facts: dict[NodeT, FactT]
+    iterations: int
+
+
+def solve(problem: DataflowProblem[NodeT, FactT]) -> DataflowResult[NodeT, FactT]:
+    """Run the iterative worklist algorithm until a fixed point is reached."""
+    nodes = list(problem.nodes)
+    if problem.direction is Direction.FORWARD:
+        flow_pred: dict[NodeT, list[NodeT]] = {n: [] for n in nodes}
+        for node in nodes:
+            for succ in problem.successors(node):
+                flow_pred.setdefault(succ, []).append(node)
+        flow_succ = {n: list(problem.successors(n)) for n in nodes}
+    else:
+        # invert the graph: "predecessors" in flow order are CFG successors
+        flow_pred = {n: list(problem.successors(n)) for n in nodes}
+        flow_succ = {n: [] for n in nodes}
+        for node in nodes:
+            for succ in problem.successors(node):
+                flow_succ.setdefault(succ, []).append(node)
+
+    in_facts: dict[NodeT, FactT] = {}
+    out_facts: dict[NodeT, FactT] = {}
+    boundary = set(problem.boundary_nodes)
+    for node in nodes:
+        in_facts[node] = problem.boundary if node in boundary else problem.initial
+        out_facts[node] = problem.transfer(node, in_facts[node])
+
+    worklist = list(nodes)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > problem.max_iterations:
+            raise RuntimeError(
+                f"dataflow analysis did not converge after {problem.max_iterations} steps"
+            )
+        node = worklist.pop(0)
+        incoming = [out_facts[p] for p in flow_pred.get(node, ()) if p in out_facts]
+        if node in boundary:
+            new_in = problem.boundary if not incoming else problem.join(
+                incoming + [problem.boundary]
+            )
+        elif incoming:
+            new_in = problem.join(incoming)
+        else:
+            new_in = problem.initial
+        new_out = problem.transfer(node, new_in)
+        changed = not problem.equals(new_out, out_facts[node]) or not problem.equals(
+            new_in, in_facts[node]
+        )
+        in_facts[node] = new_in
+        out_facts[node] = new_out
+        if changed:
+            for succ in flow_succ.get(node, ()):
+                if succ not in worklist:
+                    worklist.append(succ)
+    return DataflowResult(in_facts=in_facts, out_facts=out_facts, iterations=iterations)
+
+
+def set_union(facts: list[frozenset]) -> frozenset:
+    """Join for may-analyses over sets."""
+    result: frozenset = frozenset()
+    for fact in facts:
+        result |= fact
+    return result
+
+
+def set_intersection(facts: list[frozenset]) -> frozenset:
+    """Join for must-analyses over sets."""
+    if not facts:
+        return frozenset()
+    result = facts[0]
+    for fact in facts[1:]:
+        result &= fact
+    return result

@@ -1,0 +1,143 @@
+"""Live-variable analysis.
+
+The classical backward may-analysis: a variable is *live* at a program point
+when its current value may still be read on some path from that point.  The
+paper's "Live-Variable Analysis" optimisation (Section 3.2.2) uses it to let
+variables with non-overlapping live ranges share one memory location in the
+model -- fewer state variables, smaller state space -- and to remove variables
+that are never used at all.
+
+Two granularities are provided:
+
+* :func:`block_liveness` -- live-in / live-out sets per basic block,
+* :func:`statement_liveness` -- live-after sets per statement inside a block
+  (needed by the interference-graph construction of the optimisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import BasicBlock, ControlFlowGraph
+from .dataflow import DataflowProblem, Direction, set_union, solve
+from .usedef import block_use_def, statement_use_def
+
+
+@dataclass
+class LivenessResult:
+    """Per-block live variable sets."""
+
+    live_in: dict[int, frozenset[str]]
+    live_out: dict[int, frozenset[str]]
+
+    def live_anywhere(self) -> frozenset[str]:
+        """Variables live at some point in the function."""
+        everything: frozenset[str] = frozenset()
+        for fact in self.live_in.values():
+            everything |= fact
+        for fact in self.live_out.values():
+            everything |= fact
+        return everything
+
+
+def block_liveness(cfg: ControlFlowGraph) -> LivenessResult:
+    """Compute live-in/live-out sets for every block of *cfg*."""
+    use_defs = {block.block_id: block_use_def(block) for block in cfg.blocks()}
+
+    def successors(block_id: int) -> list[int]:
+        return [edge.target for edge in cfg.out_edges(block_id)]
+
+    def transfer(block_id: int, live_out: frozenset[str]) -> frozenset[str]:
+        use_def = use_defs[block_id]
+        return use_def.uses | (live_out - use_def.defs)
+
+    problem = DataflowProblem(
+        nodes=[block.block_id for block in cfg.blocks()],
+        successors=successors,
+        direction=Direction.BACKWARD,
+        boundary_nodes=[cfg.exit.block_id],
+        boundary=frozenset(),
+        initial=frozenset(),
+        join=set_union,
+        transfer=transfer,
+    )
+    result = solve(problem)
+    # for a backward problem: in_facts = fact flowing into the node in flow
+    # order = live-out; out_facts = transfer result = live-in
+    live_out = {node: result.in_facts[node] for node in result.in_facts}
+    live_in = {node: result.out_facts[node] for node in result.out_facts}
+    return LivenessResult(live_in=live_in, live_out=live_out)
+
+
+def statement_liveness(
+    cfg: ControlFlowGraph, block: BasicBlock, live_out: frozenset[str]
+) -> list[frozenset[str]]:
+    """Live-after set of every statement of *block*.
+
+    ``live_out`` is the block-level live-out set (from
+    :func:`block_liveness`).  The returned list is parallel to
+    ``block.statements``: element *i* is the set of variables live immediately
+    after statement *i* executed.  The block's terminator condition counts as
+    executing after the last statement.
+    """
+    from .usedef import block_condition_uses
+
+    del cfg
+    after = set(live_out)
+    after |= block_condition_uses(block)
+    live_after: list[frozenset[str]] = [frozenset()] * len(block.statements)
+    for index in range(len(block.statements) - 1, -1, -1):
+        live_after[index] = frozenset(after)
+        use_def = statement_use_def(block.statements[index])
+        after -= use_def.defs
+        after |= use_def.uses
+    return live_after
+
+
+def unused_variables(cfg: ControlFlowGraph, candidates: set[str]) -> set[str]:
+    """Variables from *candidates* that are never read anywhere in *cfg*.
+
+    "This optimisation technique is also used to remove unused variables"
+    (Section 3.2.2): a variable that is never used can be dropped from the
+    model entirely, no matter how often it is written.
+    """
+    from .usedef import block_condition_uses
+
+    read: set[str] = set()
+    for block in cfg.blocks():
+        # statement-level uses (block_use_def would hide reads that follow an
+        # earlier definition in the same block) plus branch-condition reads
+        for stmt in block.statements:
+            read |= statement_use_def(stmt).uses
+        read |= block_condition_uses(block)
+    return {name for name in candidates if name not in read}
+
+
+def live_range_conflicts(cfg: ControlFlowGraph) -> dict[str, set[str]]:
+    """Interference graph over variables: edges between simultaneously live vars.
+
+    Two variables interfere when one is defined at a point where the other is
+    live (standard register-allocation interference).  The live-variable
+    optimisation merges non-interfering variables of equal type.
+    """
+    liveness = block_liveness(cfg)
+    conflicts: dict[str, set[str]] = {}
+
+    def add_conflict(a: str, b: str) -> None:
+        if a == b:
+            return
+        conflicts.setdefault(a, set()).add(b)
+        conflicts.setdefault(b, set()).add(a)
+
+    for block in cfg.blocks():
+        live_after = statement_liveness(cfg, block, liveness.live_out[block.block_id])
+        for index, stmt in enumerate(block.statements):
+            use_def = statement_use_def(stmt)
+            for defined in use_def.defs:
+                conflicts.setdefault(defined, set())
+                for other in live_after[index]:
+                    add_conflict(defined, other)
+    # make sure every live variable appears as a node
+    for name in liveness.live_anywhere():
+        conflicts.setdefault(name, set())
+    return conflicts

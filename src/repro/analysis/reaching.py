@@ -1,0 +1,114 @@
+"""Reaching-definitions analysis and def-use chains.
+
+Used by the reverse-CSE optimisation (Section 3.2.1): a temporary variable can
+be substituted by its defining expression when
+
+* it has exactly one definition,
+* that definition reaches every use, and
+* none of the variables the defining expression reads is redefined between
+  the definition and the use.
+
+The analysis works at statement granularity; definition sites are identified
+by ``(block id, statement index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from .dataflow import DataflowProblem, Direction, set_union, solve
+from .usedef import block_condition_uses, statement_use_def
+
+
+@dataclass(frozen=True, order=True)
+class Definition:
+    """A definition site of a variable."""
+
+    variable: str
+    block_id: int
+    statement_index: int
+
+
+@dataclass
+class ReachingResult:
+    """Reaching definitions before/after every block plus def-use chains."""
+
+    reach_in: dict[int, frozenset[Definition]]
+    reach_out: dict[int, frozenset[Definition]]
+    definitions: list[Definition]
+    #: definition -> (block id, statement index) pairs of statements using it;
+    #: a use site with statement index ``-1`` denotes the block's terminator
+    #: condition.
+    uses: dict[Definition, set[tuple[int, int]]]
+
+    def definitions_of(self, variable: str) -> list[Definition]:
+        return [d for d in self.definitions if d.variable == variable]
+
+
+def reaching_definitions(cfg: ControlFlowGraph) -> ReachingResult:
+    """Compute reaching definitions and def-use chains for *cfg*."""
+    # collect definitions
+    definitions: list[Definition] = []
+    defs_in_block: dict[int, list[Definition]] = {}
+    for block in cfg.blocks():
+        for index, stmt in enumerate(block.statements):
+            for variable in statement_use_def(stmt).defs:
+                definition = Definition(variable, block.block_id, index)
+                definitions.append(definition)
+                defs_in_block.setdefault(block.block_id, []).append(definition)
+
+    defs_by_variable: dict[str, set[Definition]] = {}
+    for definition in definitions:
+        defs_by_variable.setdefault(definition.variable, set()).add(definition)
+
+    gen_kill: dict[int, tuple[frozenset[Definition], frozenset[Definition]]] = {}
+    for block in cfg.blocks():
+        gen: dict[str, Definition] = {}
+        kill: set[Definition] = set()
+        for definition in defs_in_block.get(block.block_id, ()):  # in statement order
+            kill |= defs_by_variable[definition.variable]
+            gen[definition.variable] = definition  # later defs shadow earlier ones
+        gen_kill[block.block_id] = (frozenset(gen.values()), frozenset(kill))
+
+    def successors(block_id: int) -> list[int]:
+        return [edge.target for edge in cfg.out_edges(block_id)]
+
+    def transfer(block_id: int, reach_in: frozenset[Definition]) -> frozenset[Definition]:
+        gen, kill = gen_kill[block_id]
+        return gen | (reach_in - kill)
+
+    problem = DataflowProblem(
+        nodes=[block.block_id for block in cfg.blocks()],
+        successors=successors,
+        direction=Direction.FORWARD,
+        boundary_nodes=[cfg.entry.block_id],
+        boundary=frozenset(),
+        initial=frozenset(),
+        join=set_union,
+        transfer=transfer,
+    )
+    result = solve(problem)
+    reach_in = dict(result.in_facts)
+    reach_out = dict(result.out_facts)
+
+    # def-use chains by walking each block with its reach-in set
+    uses: dict[Definition, set[tuple[int, int]]] = {d: set() for d in definitions}
+    for block in cfg.blocks():
+        current: dict[str, set[Definition]] = {}
+        for definition in reach_in[block.block_id]:
+            current.setdefault(definition.variable, set()).add(definition)
+        for index, stmt in enumerate(block.statements):
+            use_def = statement_use_def(stmt)
+            for variable in use_def.uses:
+                for definition in current.get(variable, ()):
+                    uses[definition].add((block.block_id, index))
+            for variable in use_def.defs:
+                current[variable] = {Definition(variable, block.block_id, index)}
+        for variable in block_condition_uses(block):
+            for definition in current.get(variable, ()):
+                uses[definition].add((block.block_id, -1))
+
+    return ReachingResult(
+        reach_in=reach_in, reach_out=reach_out, definitions=definitions, uses=uses
+    )

@@ -1,0 +1,131 @@
+"""Control-flow relevance: which variables and statements influence branching.
+
+The paper's "Dead Variable and Code Elimination" optimisation
+(Section 3.2.6):
+
+    "Since we are not interested in the data flow but only in the control
+    flow, all variables that do not affect the control flow directly or
+    through assignments to other variables can be removed.  Even code
+    segments that do not affect variables involved in the control flow can be
+    removed ..."
+
+:func:`control_relevant_variables` computes the backward closure: start from
+the variables read by branch/switch conditions and repeatedly add every
+variable read by an assignment whose target is already in the set.
+:func:`irrelevant_statements` then lists the statements that only write
+irrelevant variables (and call no functions), i.e. the removable "code
+segments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from ..minic.ast_nodes import DeclStmt, ExprStmt, ReturnStmt, Stmt
+from ..minic.folding import assigned_variables, expression_variables, has_calls
+from .usedef import block_condition_uses
+
+
+@dataclass
+class RelevanceResult:
+    """Control-flow relevance classification of a function's variables."""
+
+    #: variables that (transitively) influence a branch or switch condition
+    relevant: frozenset[str]
+    #: analysed variables that do not influence control flow
+    irrelevant: frozenset[str]
+    #: statements writing only irrelevant variables (removable code)
+    removable_statements: list[Stmt]
+
+
+def control_relevant_variables(
+    cfg: ControlFlowGraph,
+    keep: frozenset[str] = frozenset(),
+) -> frozenset[str]:
+    """Variables that affect control flow, directly or transitively.
+
+    ``keep`` forces extra variables into the relevant set -- the test-data
+    generator passes the variables mentioned in the target-path constraint so
+    that dead-code elimination never removes the very assignments a selected
+    path depends on ("as long as we are not looking for test data to reach
+    these paths", Section 3.2.6).
+    """
+    relevant: set[str] = set(keep)
+    for block in cfg.blocks():
+        relevant |= block_condition_uses(block)
+
+    # dependencies: target -> union of variables read by assignments to it
+    dependencies: dict[str, set[str]] = {}
+    for block in cfg.blocks():
+        for stmt in block.statements:
+            for target, sources in _assignment_dependencies(stmt):
+                dependencies.setdefault(target, set()).update(sources)
+
+    changed = True
+    while changed:
+        changed = False
+        for target in list(relevant):
+            for source in dependencies.get(target, ()):
+                if source not in relevant:
+                    relevant.add(source)
+                    changed = True
+    return frozenset(relevant)
+
+
+def _assignment_dependencies(stmt: Stmt) -> list[tuple[str, set[str]]]:
+    if isinstance(stmt, DeclStmt) and stmt.init is not None:
+        return [(stmt.name, expression_variables(stmt.init))]
+    if isinstance(stmt, ExprStmt):
+        targets = assigned_variables(stmt.expr)
+        sources = expression_variables(stmt.expr)
+        return [(target, set(sources)) for target in targets]
+    return []
+
+
+def irrelevant_statements(
+    cfg: ControlFlowGraph, relevant: frozenset[str]
+) -> list[Stmt]:
+    """Statements that can be removed without changing any branch decision.
+
+    A statement is removable when it only assigns variables outside the
+    relevant set, contains no function call (calls are opaque -- and their
+    execution time is being measured, so removing them would change the model
+    in other ways than state-space size) and is not a ``return``.
+    """
+    removable: list[Stmt] = []
+    for block in cfg.blocks():
+        for stmt in block.statements:
+            if isinstance(stmt, ReturnStmt):
+                continue
+            if isinstance(stmt, DeclStmt):
+                if stmt.init is None:
+                    continue
+                if has_calls(stmt.init):
+                    continue
+                if stmt.name not in relevant:
+                    removable.append(stmt)
+                continue
+            if isinstance(stmt, ExprStmt):
+                if has_calls(stmt.expr):
+                    continue
+                targets = assigned_variables(stmt.expr)
+                if targets and targets.isdisjoint(relevant):
+                    removable.append(stmt)
+    return removable
+
+
+def analyze_relevance(
+    cfg: ControlFlowGraph,
+    all_variables: set[str],
+    keep: frozenset[str] = frozenset(),
+) -> RelevanceResult:
+    """Full relevance classification of *all_variables* for *cfg*."""
+    relevant = control_relevant_variables(cfg, keep)
+    irrelevant = frozenset(name for name in all_variables if name not in relevant)
+    removable = irrelevant_statements(cfg, relevant)
+    return RelevanceResult(
+        relevant=frozenset(name for name in all_variables if name in relevant),
+        irrelevant=irrelevant,
+        removable_statements=removable,
+    )

@@ -1,0 +1,82 @@
+"""Use/def extraction from statements and basic blocks.
+
+Every dataflow analysis needs to know which variables a statement reads and
+writes.  This module centralises that logic so the CFG-level analyses, the
+transition-system optimisations and the interpreter agree on it.
+
+Call arguments count as uses; calls to external functions are assumed not to
+write any analysed variable (mini-C has no pointers and the generated code the
+paper analyses passes data through global variables set before the call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import BasicBlock, TerminatorKind
+from ..minic.ast_nodes import (
+    DeclStmt,
+    ExprStmt,
+    ReturnStmt,
+    Stmt,
+)
+from ..minic.folding import assigned_variables, expression_variables
+
+
+@dataclass(frozen=True)
+class UseDef:
+    """Variables read (``uses``) and written (``defs``) by a statement."""
+
+    uses: frozenset[str]
+    defs: frozenset[str]
+
+
+def statement_use_def(stmt: Stmt) -> UseDef:
+    """Uses/defs of a single straight-line statement."""
+    if isinstance(stmt, DeclStmt):
+        if stmt.init is not None:
+            return UseDef(
+                uses=frozenset(expression_variables(stmt.init)),
+                defs=frozenset({stmt.name}),
+            )
+        return UseDef(uses=frozenset(), defs=frozenset({stmt.name}))
+    if isinstance(stmt, ExprStmt):
+        return UseDef(
+            uses=frozenset(expression_variables(stmt.expr)),
+            defs=frozenset(assigned_variables(stmt.expr)),
+        )
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is not None:
+            return UseDef(uses=frozenset(expression_variables(stmt.value)), defs=frozenset())
+        return UseDef(uses=frozenset(), defs=frozenset())
+    return UseDef(uses=frozenset(), defs=frozenset())
+
+
+def block_use_def(block: BasicBlock) -> UseDef:
+    """Aggregate uses/defs of a basic block (statements plus terminator).
+
+    The aggregation is flow-aware in the usual way: a variable is a *use* of
+    the block only if some statement reads it before the block writes it, and
+    a *def* if any statement writes it.
+    """
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for stmt in block.statements:
+        use_def = statement_use_def(stmt)
+        uses |= {name for name in use_def.uses if name not in defs}
+        defs |= use_def.defs
+    condition = block.terminator.condition
+    if condition is not None and block.terminator.kind in (
+        TerminatorKind.BRANCH,
+        TerminatorKind.SWITCH,
+    ):
+        uses |= {name for name in expression_variables(condition) if name not in defs}
+    return UseDef(uses=frozenset(uses), defs=frozenset(defs))
+
+
+def block_condition_uses(block: BasicBlock) -> frozenset[str]:
+    """Variables read by the block's branch/switch condition (if any)."""
+    condition = block.terminator.condition
+    if condition is None:
+        return frozenset()
+    return frozenset(expression_variables(condition))

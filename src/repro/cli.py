@@ -1,0 +1,116 @@
+"""Command-line interface of the WCET analysis tool.
+
+Three sub-commands cover the paper's workflow:
+
+``repro-wcet partition FILE --function F --bounds 1,2,3``
+    print the instrumentation-point / measurement trade-off table (Table 1
+    style) for a mini-C source file.
+
+``repro-wcet analyze FILE --function F --bound B``
+    run the complete measurement-based WCET analysis and print the report.
+
+``repro-wcet case-study``
+    regenerate the paper's wiper-control case study end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .cfg.builder import build_cfg
+from .minic import parse_and_analyze
+from .partition.partitioner import measurement_effort_table
+from .pipeline.analyzer import AnalyzerConfig, WcetAnalyzer
+from .workloads.wiper import WIPER_FUNCTION_NAME, wiper_case_study
+
+
+def _load(path: str):
+    source = Path(path).read_text(encoding="utf-8")
+    return parse_and_analyze(source, filename=path)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    analyzed = _load(args.file)
+    function = analyzed.program.function(args.function)
+    cfg = build_cfg(function)
+    bounds = [int(b) for b in args.bounds.split(",")]
+    rows = measurement_effort_table(function, bounds, cfg)
+    print(f"function {args.function!r}: {len(cfg.real_blocks())} basic blocks")
+    print(f"{'bound b':>8} {'instr. points ip':>18} {'measurements m':>16} {'segments':>9}")
+    for row in rows:
+        print(
+            f"{row['bound']:>8} {row['instrumentation_points']:>18} "
+            f"{row['measurements']:>16} {row['segments']:>9}"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    analyzed = _load(args.file)
+    config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
+    if args.no_exhaustive:
+        config.exhaustive_limit = None
+    report = WcetAnalyzer(analyzed, args.function, config).analyze()
+    print(report.to_text())
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    code = wiper_case_study()
+    config = AnalyzerConfig(path_bound=args.bound)
+    report = WcetAnalyzer(code.analyzed, WIPER_FUNCTION_NAME, config).analyze()
+    print(report.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wcet",
+        description="Measurement-based WCET analysis by CFG partitioning and model checking",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    partition = subparsers.add_parser("partition", help="print the ip/m trade-off table")
+    partition.add_argument("file", help="mini-C source file")
+    partition.add_argument("--function", required=True, help="function to analyse")
+    partition.add_argument(
+        "--bounds", default="1,2,3,4,5,6,7", help="comma-separated path bounds"
+    )
+    partition.set_defaults(handler=_cmd_partition)
+
+    analyze = subparsers.add_parser("analyze", help="run the full WCET analysis")
+    analyze.add_argument("file", help="mini-C source file")
+    analyze.add_argument("--function", required=True, help="function to analyse")
+    analyze.add_argument("--bound", type=int, default=4, help="path bound b")
+    analyze.add_argument(
+        "--partitioner", choices=("paper", "general"), default="paper",
+        help="partitioning algorithm",
+    )
+    analyze.add_argument(
+        "--no-exhaustive", action="store_true",
+        help="skip the exhaustive end-to-end comparison",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    case_study = subparsers.add_parser(
+        "case-study", help="run the wiper-control case study of the paper"
+    )
+    case_study.add_argument("--bound", type=int, default=2, help="path bound b")
+    case_study.set_defaults(handler=_cmd_case_study)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except Exception as error:  # pragma: no cover - CLI convenience
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

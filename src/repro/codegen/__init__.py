@@ -1,0 +1,23 @@
+"""TargetLink-like code generation from Stateflow-style charts."""
+
+from __future__ import annotations
+
+from .chart import (
+    ChartError,
+    ChartState,
+    ChartTransition,
+    ChartVariable,
+    StateflowChart,
+)
+from .generator import GeneratedCode, TargetLinkCodeGenerator, generate_chart_code
+
+__all__ = [
+    "ChartError",
+    "ChartState",
+    "ChartTransition",
+    "ChartVariable",
+    "StateflowChart",
+    "GeneratedCode",
+    "TargetLinkCodeGenerator",
+    "generate_chart_code",
+]

@@ -1,0 +1,205 @@
+"""Stateflow-like state chart model.
+
+The paper's case study is "modelled in MatLab/Simulink" with a "Stateflow
+chart [that] has 9 states" and turned into C by the TargetLink code generator.
+This module provides the modelling side of that substitute: a small,
+validated state-chart description (:class:`StateflowChart`) that
+:mod:`repro.codegen.generator` turns into TargetLink-style mini-C code.
+
+The chart semantics are the usual discrete-step ones: every call of the
+generated step function evaluates the outgoing transitions of the active
+state in priority order, takes the first one whose condition holds (executing
+its actions and the entry actions of the new state) and otherwise runs the
+active state's during-actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..minic.types import CType, INT16, IntRange, UINT8
+
+
+class ChartError(Exception):
+    """Raised for malformed charts."""
+
+
+@dataclass(frozen=True)
+class ChartVariable:
+    """An input, output or local variable of the chart."""
+
+    name: str
+    ctype: CType = UINT8
+    value_range: IntRange | None = None
+    initial: int = 0
+
+    def effective_range(self) -> IntRange:
+        return self.value_range if self.value_range is not None else self.ctype.value_range()
+
+
+@dataclass
+class ChartState:
+    """One state of the chart."""
+
+    name: str
+    index: int
+    entry_actions: list[str] = field(default_factory=list)
+    during_actions: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ChartTransition:
+    """A transition between two states.
+
+    ``condition`` is a mini-C expression over the chart's variables; ``actions``
+    are mini-C statements (without the trailing semicolon they are given one).
+    Transitions of one source state are evaluated in increasing ``priority``.
+    """
+
+    source: str
+    target: str
+    condition: str
+    actions: list[str] = field(default_factory=list)
+    priority: int = 0
+
+
+@dataclass
+class StateflowChart:
+    """A complete chart: states, variables, transitions."""
+
+    name: str
+    inputs: list[ChartVariable] = field(default_factory=list)
+    outputs: list[ChartVariable] = field(default_factory=list)
+    locals: list[ChartVariable] = field(default_factory=list)
+    states: list[ChartState] = field(default_factory=list)
+    transitions: list[ChartTransition] = field(default_factory=list)
+    initial_state: str = ""
+    #: name of the generated state variable
+    state_variable: str = "chart_state"
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def add_state(
+        self,
+        name: str,
+        entry_actions: list[str] | None = None,
+        during_actions: list[str] | None = None,
+    ) -> ChartState:
+        if any(state.name == name for state in self.states):
+            raise ChartError(f"duplicate state {name!r}")
+        state = ChartState(
+            name=name,
+            index=len(self.states),
+            entry_actions=list(entry_actions or []),
+            during_actions=list(during_actions or []),
+        )
+        self.states.append(state)
+        if not self.initial_state:
+            self.initial_state = name
+        return state
+
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        condition: str,
+        actions: list[str] | None = None,
+        priority: int | None = None,
+    ) -> ChartTransition:
+        transition = ChartTransition(
+            source=source,
+            target=target,
+            condition=condition,
+            actions=list(actions or []),
+            priority=priority if priority is not None else self._next_priority(source),
+        )
+        self.transitions.append(transition)
+        return transition
+
+    def _next_priority(self, source: str) -> int:
+        return 1 + max(
+            (t.priority for t in self.transitions if t.source == source), default=0
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def state(self, name: str) -> ChartState:
+        for state in self.states:
+            if state.name == name:
+                return state
+        raise ChartError(f"no state named {name!r}")
+
+    def transitions_from(self, source: str) -> list[ChartTransition]:
+        return sorted(
+            (t for t in self.transitions if t.source == source), key=lambda t: t.priority
+        )
+
+    def variable_names(self) -> list[str]:
+        names = [v.name for v in self.inputs + self.outputs + self.locals]
+        names.append(self.state_variable)
+        return names
+
+    def block_count(self) -> int:
+        """A Simulink-flavoured size metric: states + transitions + variables.
+
+        The paper describes the wiper model as "around 70 blocks"; this count
+        gives charts a comparable size number (states, transitions, condition
+        terms and I/O ports all count as blocks in Simulink terms).
+        """
+        condition_terms = sum(
+            1 + transition.condition.count("&&") + transition.condition.count("||")
+            for transition in self.transitions
+        )
+        actions = sum(len(t.actions) for t in self.transitions) + sum(
+            len(s.entry_actions) + len(s.during_actions) for s in self.states
+        )
+        return (
+            len(self.states)
+            + len(self.transitions)
+            + condition_terms
+            + actions
+            + len(self.inputs)
+            + len(self.outputs)
+            + len(self.locals)
+        )
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check chart well-formedness; raise :class:`ChartError` on problems."""
+        if not self.states:
+            raise ChartError("chart has no states")
+        names = {state.name for state in self.states}
+        if len(names) != len(self.states):
+            raise ChartError("duplicate state names")
+        if self.initial_state not in names:
+            raise ChartError(f"initial state {self.initial_state!r} does not exist")
+        declared = set(self.variable_names())
+        if len(declared) != len(self.inputs) + len(self.outputs) + len(self.locals) + 1:
+            raise ChartError("duplicate variable names")
+        for transition in self.transitions:
+            if transition.source not in names:
+                raise ChartError(f"transition from unknown state {transition.source!r}")
+            if transition.target not in names:
+                raise ChartError(f"transition to unknown state {transition.target!r}")
+            if not transition.condition.strip():
+                raise ChartError("transitions need a condition (use '1' for always)")
+        # every state should be reachable from the initial state
+        reachable = {self.initial_state}
+        changed = True
+        while changed:
+            changed = False
+            for transition in self.transitions:
+                if transition.source in reachable and transition.target not in reachable:
+                    reachable.add(transition.target)
+                    changed = True
+        unreachable = names - reachable
+        if unreachable:
+            raise ChartError(f"unreachable states: {sorted(unreachable)}")
+
+    def state_range(self) -> IntRange:
+        return IntRange(0, max(0, len(self.states) - 1))
+
+    def state_variable_type(self) -> CType:
+        return INT16 if len(self.states) > 256 else UINT8

@@ -1,0 +1,35 @@
+"""Simulated measurement target: HCS12-style cost model, interpreter, board."""
+
+from __future__ import annotations
+
+from .board import EvaluationBoard, InstrumentedRun, PointReading
+from .cost_model import (
+    DEFAULT_EXTERNAL_CALL_CYCLES,
+    HCS12_COST_MODEL,
+    CostModel,
+    uniform_cost_model,
+)
+from .interpreter import (
+    BlockEvent,
+    BranchEvent,
+    ExecutionError,
+    Interpreter,
+    RunResult,
+    SwitchEvent,
+)
+
+__all__ = [
+    "EvaluationBoard",
+    "InstrumentedRun",
+    "PointReading",
+    "DEFAULT_EXTERNAL_CALL_CYCLES",
+    "HCS12_COST_MODEL",
+    "CostModel",
+    "uniform_cost_model",
+    "BlockEvent",
+    "BranchEvent",
+    "ExecutionError",
+    "Interpreter",
+    "RunResult",
+    "SwitchEvent",
+]

@@ -1,0 +1,98 @@
+"""The simulated evaluation board.
+
+The paper's flow compiles the instrumented application for the Motorola HCS12,
+uploads it to an evaluation board, forces the generated test data onto the
+input variables through glue code and reads back the cycle-counter values at
+the instrumentation points.  :class:`EvaluationBoard` packages that flow:
+programs are *loaded* once (parsed program + CFGs + cost model), then *run*
+any number of times with different test vectors, optionally with an
+instrumentation plan attached so each run also yields the cycle-counter
+readings of every instrumentation point that fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.builder import build_all_cfgs
+from ..cfg.graph import ControlFlowGraph
+from ..minic.semantic import AnalyzedProgram
+from ..partition.instrument import InstrumentationPlan, InstrumentationPoint
+from .cost_model import CostModel, HCS12_COST_MODEL
+from .interpreter import Interpreter, RunResult
+
+
+@dataclass
+class PointReading:
+    """One cycle-counter reading at an instrumentation point."""
+
+    point: InstrumentationPoint
+    cycles: int
+    #: index into the block trace at which the point fired (stable ordering)
+    trace_index: int
+
+
+@dataclass
+class InstrumentedRun:
+    """A run plus the readings of the attached instrumentation plan."""
+
+    run: RunResult
+    readings: list[PointReading] = field(default_factory=list)
+
+    def readings_for_segment(self, segment_id: int) -> list[PointReading]:
+        return [r for r in self.readings if r.point.segment_id == segment_id]
+
+
+class EvaluationBoard:
+    """Simulated measurement target (CPU + cycle counter + test-data glue)."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        cost_model: CostModel = HCS12_COST_MODEL,
+        max_steps: int = 1_000_000,
+    ):
+        self._analyzed = analyzed
+        self._cfgs = build_all_cfgs(analyzed.program)
+        self._interpreter = Interpreter(
+            analyzed, cost_model=cost_model, cfgs=self._cfgs, max_steps=max_steps
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def interpreter(self) -> Interpreter:
+        return self._interpreter
+
+    def cfg(self, function_name: str) -> ControlFlowGraph:
+        return self._interpreter.cfg(function_name)
+
+    def run(self, function_name: str, inputs: dict[str, int] | None = None) -> RunResult:
+        """Execute one test vector and return the raw run result."""
+        return self._interpreter.run(function_name, inputs)
+
+    def run_instrumented(
+        self,
+        function_name: str,
+        inputs: dict[str, int] | None,
+        plan: InstrumentationPlan,
+    ) -> InstrumentedRun:
+        """Execute one test vector and collect instrumentation-point readings.
+
+        Every instrumentation point whose trigger block is entered produces a
+        reading with the cycle-counter value at that moment; the plan's
+        end-of-function points fire with the final cycle count.  Points of
+        segments that were not executed at all simply do not appear.
+        """
+        run = self._interpreter.run(function_name, inputs)
+        readings: list[PointReading] = []
+        for index, event in enumerate(run.block_trace):
+            for point in plan.triggers.get(event.block_id, ()):
+                readings.append(PointReading(point=point, cycles=event.cycles, trace_index=index))
+        for point in plan.end_of_function_points:
+            readings.append(
+                PointReading(
+                    point=point, cycles=run.total_cycles, trace_index=len(run.block_trace)
+                )
+            )
+        readings.sort(key=lambda r: (r.trace_index, r.point.point_id))
+        return InstrumentedRun(run=run, readings=readings)

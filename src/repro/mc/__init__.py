@@ -1,0 +1,26 @@
+"""Model checking: reachability engines, goals, results (the SAL stand-in)."""
+
+from __future__ import annotations
+
+from .checker import EngineKind, ModelChecker, ModelCheckerOptions
+from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
+from .property import GoalBuilder, ReachabilityGoal
+from .result import CheckResult, CheckStatistics, Counterexample, Verdict
+from .symbolic import SymbolicEngine, SymbolicEngineOptions
+
+__all__ = [
+    "EngineKind",
+    "ModelChecker",
+    "ModelCheckerOptions",
+    "ExplicitEngineOptions",
+    "ExplicitStateEngine",
+    "StateSpaceTooLarge",
+    "GoalBuilder",
+    "ReachabilityGoal",
+    "CheckResult",
+    "CheckStatistics",
+    "Counterexample",
+    "Verdict",
+    "SymbolicEngine",
+    "SymbolicEngineOptions",
+]

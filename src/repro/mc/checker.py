@@ -1,0 +1,110 @@
+"""Model-checker facade.
+
+:class:`ModelChecker` is what the rest of the tool chain talks to: it owns a
+translated model, picks an engine (symbolic by default, explicit for tiny
+models or when requested) and exposes the two queries test-data generation
+needs -- "give me test data reaching this block" and "give me test data
+driving execution along this exact edge sequence" -- plus the raw
+:meth:`check` entry point used by the Table 2 benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..transsys.translate import TranslationResult, edge_label
+from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
+from .property import GoalBuilder, ReachabilityGoal
+from .result import CheckResult, Verdict
+from .symbolic import SymbolicEngine, SymbolicEngineOptions
+
+
+class EngineKind(enum.Enum):
+    SYMBOLIC = "symbolic"
+    EXPLICIT = "explicit"
+    AUTO = "auto"
+
+
+@dataclass
+class ModelCheckerOptions:
+    engine: EngineKind = EngineKind.AUTO
+    symbolic: SymbolicEngineOptions | None = None
+    explicit: ExplicitEngineOptions | None = None
+    #: explicit enumeration is attempted when the free state space has at most
+    #: this many bits (AUTO mode)
+    explicit_bits_threshold: int = 16
+
+
+class ModelChecker:
+    """Reachability checking against one translated function."""
+
+    def __init__(
+        self, translation: TranslationResult, options: ModelCheckerOptions | None = None
+    ):
+        self._translation = translation
+        self._options = options or ModelCheckerOptions()
+        self._goal_builder = GoalBuilder(block_location=translation.block_location)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self):
+        return self._translation.system
+
+    @property
+    def goals(self) -> GoalBuilder:
+        return self._goal_builder
+
+    def check(self, goal: ReachabilityGoal) -> CheckResult:
+        """Run the configured engine on *goal*."""
+        engine = self._select_engine()
+        return engine.check(goal)
+
+    # ------------------------------------------------------------------ #
+    # the two queries test-data generation needs
+    # ------------------------------------------------------------------ #
+    def find_test_data_for_block(self, block_id: int) -> CheckResult:
+        """Test data that makes execution reach the given CFG block."""
+        return self.check(self._goal_builder.reach_block(block_id))
+
+    def find_test_data_for_edge_sequence(
+        self, edges: list[tuple[int, int, str]]
+    ) -> CheckResult:
+        """Test data that drives execution along the given CFG edges in order.
+
+        ``edges`` are ``(source block, target block, edge kind value)``
+        triples as produced by :mod:`repro.cfg`.
+        """
+        from ..cfg.graph import EdgeKind
+
+        labels = [
+            edge_label(source, target, EdgeKind(kind)) for source, target, kind in edges
+        ]
+        goal = self._goal_builder.follow_edges(labels)
+        return self.check(goal)
+
+    def is_path_infeasible(self, edges: list[tuple[int, int, str]]) -> bool:
+        """True when the engine *proved* that no input follows this path.
+
+        "If no data pattern is found for a selected path the path is deemed
+        infeasible." (Section 3) -- only a completed, exhaustive search counts
+        as proof; an exhausted budget keeps the path in the unknown bucket.
+        """
+        result = self.find_test_data_for_edge_sequence(edges)
+        return result.verdict is Verdict.UNREACHABLE
+
+    # ------------------------------------------------------------------ #
+    def _select_engine(self):
+        kind = self._options.engine
+        system = self._translation.system
+        if kind is EngineKind.EXPLICIT:
+            return ExplicitStateEngine(system, self._options.explicit)
+        if kind is EngineKind.SYMBOLIC:
+            return SymbolicEngine(system, self._options.symbolic)
+        # AUTO: explicit only for very small free state spaces
+        if system.initial_state_bits() <= self._options.explicit_bits_threshold:
+            try:
+                return ExplicitStateEngine(system, self._options.explicit)
+            except StateSpaceTooLarge:  # pragma: no cover - defensive
+                return SymbolicEngine(system, self._options.symbolic)
+        return SymbolicEngine(system, self._options.symbolic)

@@ -1,0 +1,108 @@
+"""Reachability properties.
+
+Test-data generation asks the model checker a single kind of question: *"is
+there an execution that reaches this program point / takes this sequence of
+branches?"*  The paper encodes it as a SAL assertion whose counterexample is
+the test vector; here it is a :class:`ReachabilityGoal`.
+
+A goal can name target locations (reach any of them), target labels (traverse
+a transition carrying any of them -- labels encode CFG blocks and edges, see
+:mod:`repro.transsys.translate`) and an ordered label *sequence* for
+path-precise goals ("take the true edge of block 4, then the false edge of
+block 6"), which is what forcing a specific path through a program segment
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..transsys.system import Transition
+
+
+@dataclass(frozen=True)
+class ReachabilityGoal:
+    """A reachability query against a transition system."""
+
+    target_locations: frozenset[int] = frozenset()
+    target_labels: frozenset[str] = frozenset()
+    #: labels that must be traversed in this order (other transitions may be
+    #: interleaved); empty means "no ordering requirement"
+    ordered_labels: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.target_locations and not self.target_labels and not self.ordered_labels:
+            raise ValueError("a reachability goal needs at least one target")
+
+    # ------------------------------------------------------------------ #
+    def is_trivially_reached_at(self, location: int) -> bool:
+        """True when simply being at *location* already satisfies the goal."""
+        return (
+            location in self.target_locations
+            and not self.ordered_labels
+            and not self.target_labels
+        )
+
+    def progress_after(self, transition: Transition, progress: int) -> int:
+        """Advance the ordered-label progress counter over *transition*.
+
+        A single transition may carry several of the ordered labels (statement
+        concatenation fuses straight-line transitions and concatenates their
+        labels), so the counter advances over every consecutive expected label
+        the transition provides.
+        """
+        while progress < len(self.ordered_labels) and (
+            self.ordered_labels[progress] in transition.labels
+        ):
+            progress += 1
+        return progress
+
+    def satisfied(
+        self, location: int, transition: Transition | None, progress: int
+    ) -> bool:
+        """Check the goal after taking *transition* into *location*."""
+        if self.ordered_labels:
+            if progress < len(self.ordered_labels):
+                return False
+            # ordered labels complete; fall through to the other conditions,
+            # which are optional extras
+            if not self.target_locations and not self.target_labels:
+                return True
+        if self.target_locations and location in self.target_locations:
+            return True
+        if (
+            self.target_labels
+            and transition is not None
+            and self.target_labels.intersection(transition.labels)
+        ):
+            return True
+        return False
+
+
+@dataclass
+class GoalBuilder:
+    """Convenience constructors for the goals the WCET tooling needs."""
+
+    block_location: dict[int, int] = field(default_factory=dict)
+
+    def reach_block(self, block_id: int) -> ReachabilityGoal:
+        """Reach the entry of a CFG basic block."""
+        from ..transsys.translate import block_label
+
+        goal_labels = frozenset({block_label(block_id)})
+        locations = frozenset(
+            {self.block_location[block_id]} if block_id in self.block_location else set()
+        )
+        return ReachabilityGoal(
+            target_locations=locations,
+            target_labels=goal_labels,
+            description=f"reach block {block_id}",
+        )
+
+    def follow_edges(self, edge_labels: list[str]) -> ReachabilityGoal:
+        """Traverse the given CFG edges in order (a path goal)."""
+        return ReachabilityGoal(
+            ordered_labels=tuple(edge_labels),
+            description="follow edges " + " -> ".join(edge_labels),
+        )

@@ -1,0 +1,87 @@
+"""Model-checking results and cost statistics.
+
+The statistics mirror the three columns of the paper's Table 2 -- simulation
+time, memory use and steps -- plus the lower-level counters (explored states /
+solver nodes) that explain them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..solver.search import SolverStatistics
+from ..transsys.system import Transition
+
+
+class Verdict(enum.Enum):
+    """Outcome of a reachability check."""
+
+    #: the goal is reachable; a counterexample (test vector) was produced
+    REACHABLE = "reachable"
+    #: the goal is unreachable -- the search space was exhausted
+    UNREACHABLE = "unreachable"
+    #: the engine gave up (depth/node/time budget) without an answer
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Counterexample:
+    """A concrete run witnessing reachability.
+
+    ``inputs`` restricts the witness initial state to the declared analysis
+    input variables -- exactly the test data the measurement subsystem needs;
+    ``initial_state`` is the full witness initial state (including values the
+    checker picked for uninitialised non-input variables); ``steps`` is the
+    number of transitions, the paper's "steps" column.
+    """
+
+    inputs: dict[str, int]
+    initial_state: dict[str, int]
+    trace: list[Transition] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return len(self.trace)
+
+    def labels(self) -> list[str]:
+        collected: list[str] = []
+        for transition in self.trace:
+            collected.extend(transition.labels)
+        return collected
+
+
+@dataclass
+class CheckStatistics:
+    """Cost of one model-checking run (Table 2 columns + detail counters)."""
+
+    time_seconds: float = 0.0
+    memory_bytes: int = 0
+    steps: int = 0
+    explored_states: int = 0
+    stored_states: int = 0
+    solver: SolverStatistics = field(default_factory=SolverStatistics)
+    state_bits: int = 0
+    transitions_in_model: int = 0
+
+    @property
+    def memory_kib(self) -> float:
+        return self.memory_bytes / 1024.0
+
+
+@dataclass
+class CheckResult:
+    """Verdict + witness + statistics of one reachability check."""
+
+    verdict: Verdict
+    counterexample: Counterexample | None = None
+    statistics: CheckStatistics = field(default_factory=CheckStatistics)
+    goal_description: str = ""
+
+    @property
+    def reachable(self) -> bool:
+        return self.verdict is Verdict.REACHABLE
+
+    @property
+    def proven_unreachable(self) -> bool:
+        return self.verdict is Verdict.UNREACHABLE

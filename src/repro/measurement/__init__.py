@@ -1,0 +1,20 @@
+"""Measurement subsystem: instrumented runs and the measurement database."""
+
+from __future__ import annotations
+
+from .database import (
+    MeasurementDatabase,
+    PathKey,
+    SegmentMeasurement,
+    SegmentStatistics,
+)
+from .runner import MeasurementCampaign, MeasurementRunner
+
+__all__ = [
+    "MeasurementDatabase",
+    "PathKey",
+    "SegmentMeasurement",
+    "SegmentStatistics",
+    "MeasurementCampaign",
+    "MeasurementRunner",
+]

@@ -1,0 +1,216 @@
+"""Pretty printer: turn a mini-C AST back into compilable C-like source.
+
+The printer is used for three purposes:
+
+* emitting *instrumented* source (the partitioner inserts calls to the
+  measurement macros before/after each program segment),
+* round-trip property tests (parse → print → parse yields an equivalent AST),
+* human-readable reports and examples.
+
+Printing is deterministic; expressions are fully parenthesised except for
+trivial leaves, which keeps the round-trip property simple and unambiguous.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AssignExpr,
+    BinaryOp,
+    BoolLiteral,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CompoundStmt,
+    Conditional,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    Program,
+    ReturnStmt,
+    Stmt,
+    SwitchStmt,
+    UnaryOp,
+    WhileStmt,
+)
+from .types import CType
+
+
+class PrettyPrinter:
+    """Render AST nodes as source text."""
+
+    def __init__(self, indent: str = "    "):
+        self._indent_unit = indent
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def print_program(self, program: Program) -> str:
+        parts: list[str] = []
+        for name in program.input_variables:
+            parts.append(f"#pragma input {name}")
+        for name, rng in sorted(program.range_annotations.items()):
+            parts.append(f"#pragma range {name} {rng.lo} {rng.hi}")
+        if parts:
+            parts.append("")
+        for name in program.external_functions:
+            parts.append(f"void {name}();")
+        if program.external_functions:
+            parts.append("")
+        for decl in program.globals:
+            parts.append(self.print_global(decl))
+        if program.globals:
+            parts.append("")
+        for func in program.functions:
+            parts.append(self.print_function(func))
+            parts.append("")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def print_global(self, decl: GlobalDecl) -> str:
+        init = f" = {self.print_expr(decl.init)}" if decl.init is not None else ""
+        return f"{self._type(decl.var_type)} {decl.name}{init};"
+
+    def print_function(self, func: FunctionDef) -> str:
+        params = ", ".join(f"{self._type(p.param_type)} {p.name}" for p in func.params)
+        if not params:
+            params = "void"
+        header = f"{self._type(func.return_type)} {func.name}({params})"
+        body = self.print_stmt(func.body, 0)
+        return f"{header}\n{body}"
+
+    def print_stmt(self, stmt: Stmt, level: int = 0) -> str:
+        pad = self._indent_unit * level
+        if isinstance(stmt, CompoundStmt):
+            inner = "\n".join(self.print_stmt(s, level + 1) for s in stmt.statements)
+            if inner:
+                return f"{pad}{{\n{inner}\n{pad}}}"
+            return f"{pad}{{\n{pad}}}"
+        if isinstance(stmt, DeclStmt):
+            init = f" = {self.print_expr(stmt.init)}" if stmt.init is not None else ""
+            return f"{pad}{self._type(stmt.var_type)} {stmt.name}{init};"
+        if isinstance(stmt, ExprStmt):
+            return f"{pad}{self.print_expr(stmt.expr)};"
+        if isinstance(stmt, IfStmt):
+            text = f"{pad}if ({self.print_expr(stmt.cond)})\n"
+            text += self._print_branch(stmt.then_branch, level)
+            if stmt.else_branch is not None:
+                text += f"\n{pad}else\n"
+                text += self._print_branch(stmt.else_branch, level)
+            return text
+        if isinstance(stmt, SwitchStmt):
+            lines = [f"{pad}switch ({self.print_expr(stmt.expr)}) {{"]
+            for case in stmt.cases:
+                if case.is_default and not case.values:
+                    lines.append(f"{pad}default:")
+                for value in case.values:
+                    lines.append(f"{pad}case {value}:")
+                if case.is_default and case.values:
+                    lines.append(f"{pad}default:")
+                for child in case.body.statements:
+                    lines.append(self.print_stmt(child, level + 1))
+                lines.append(f"{self._indent_unit * (level + 1)}break;")
+            lines.append(f"{pad}}}")
+            return "\n".join(lines)
+        if isinstance(stmt, WhileStmt):
+            text = ""
+            if stmt.loop_bound is not None:
+                text += f"{pad}#pragma loopbound({stmt.loop_bound})\n"
+            text += f"{pad}while ({self.print_expr(stmt.cond)})\n"
+            text += self._print_branch(stmt.body, level)
+            return text
+        if isinstance(stmt, DoWhileStmt):
+            text = ""
+            if stmt.loop_bound is not None:
+                text += f"{pad}#pragma loopbound({stmt.loop_bound})\n"
+            text += f"{pad}do\n"
+            text += self._print_branch(stmt.body, level)
+            text += f"\n{pad}while ({self.print_expr(stmt.cond)});"
+            return text
+        if isinstance(stmt, ForStmt):
+            init = ""
+            if isinstance(stmt.init, DeclStmt):
+                init = self.print_stmt(stmt.init, 0).strip().rstrip(";")
+            elif isinstance(stmt.init, ExprStmt):
+                init = self.print_expr(stmt.init.expr)
+            cond = self.print_expr(stmt.cond) if stmt.cond is not None else ""
+            step = self.print_expr(stmt.step) if stmt.step is not None else ""
+            text = ""
+            if stmt.loop_bound is not None:
+                text += f"{pad}#pragma loopbound({stmt.loop_bound})\n"
+            text += f"{pad}for ({init}; {cond}; {step})\n"
+            text += self._print_branch(stmt.body, level)
+            return text
+        if isinstance(stmt, BreakStmt):
+            return f"{pad}break;"
+        if isinstance(stmt, ContinueStmt):
+            return f"{pad}continue;"
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                return f"{pad}return {self.print_expr(stmt.value)};"
+            return f"{pad}return;"
+        if isinstance(stmt, EmptyStmt):
+            return f"{pad};"
+        raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+    def _print_branch(self, stmt: Stmt, level: int) -> str:
+        """Print the branch of an if/loop; non-compound branches get braces."""
+        if isinstance(stmt, CompoundStmt):
+            return self.print_stmt(stmt, level)
+        pad = self._indent_unit * level
+        inner = self.print_stmt(stmt, level + 1)
+        return f"{pad}{{\n{inner}\n{pad}}}"
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def print_expr(self, expr: Expr) -> str:
+        if isinstance(expr, IntLiteral):
+            return str(expr.value)
+        if isinstance(expr, BoolLiteral):
+            return "1" if expr.value else "0"
+        if isinstance(expr, Identifier):
+            return expr.name
+        if isinstance(expr, UnaryOp):
+            return f"({expr.op}{self.print_expr(expr.operand)})"
+        if isinstance(expr, BinaryOp):
+            return f"({self.print_expr(expr.left)} {expr.op} {self.print_expr(expr.right)})"
+        if isinstance(expr, Conditional):
+            return (
+                f"({self.print_expr(expr.cond)} ? {self.print_expr(expr.then)}"
+                f" : {self.print_expr(expr.otherwise)})"
+            )
+        if isinstance(expr, AssignExpr):
+            return f"{expr.target.name} = {self.print_expr(expr.value)}"
+        if isinstance(expr, CastExpr):
+            return f"(({self._type(expr.target_type)}){self.print_expr(expr.operand)})"
+        if isinstance(expr, CallExpr):
+            args = ", ".join(self.print_expr(a) for a in expr.args)
+            return f"{expr.name}({args})"
+        raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+    @staticmethod
+    def _type(ctype: CType) -> str:
+        return ctype.name
+
+
+def print_program(program: Program) -> str:
+    """Render *program* as source text."""
+    return PrettyPrinter().print_program(program)
+
+
+def print_statement(stmt: Stmt) -> str:
+    """Render a single statement (used in reports and error messages)."""
+    return PrettyPrinter().print_stmt(stmt, 0)
+
+
+def print_expression(expr: Expr) -> str:
+    """Render a single expression."""
+    return PrettyPrinter().print_expr(expr)

@@ -1,0 +1,208 @@
+"""Type system of the mini-C language.
+
+The language deliberately mirrors the subset of C emitted by automotive code
+generators such as dSpace TargetLink: fixed-width signed/unsigned integers,
+booleans and ``void`` functions.  Types matter for two reasons in this
+reproduction:
+
+* the target-hardware cost model charges different cycle counts for 8-bit and
+  16-bit arithmetic, and
+* the state-space size of the generated transition system is the sum of the
+  bit widths of all state variables, which is exactly what the paper's
+  variable-range-analysis optimisation reduces.
+
+Types are immutable value objects; the canonical instances are exposed as
+module-level constants (:data:`INT8`, :data:`UINT8`, :data:`INT16`, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """An inclusive integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def size(self) -> int:
+        """Number of values in the range."""
+        return self.hi - self.lo + 1
+
+    def bits(self) -> int:
+        """Number of bits needed to encode a value of this range."""
+        return max(1, (self.size() - 1).bit_length())
+
+    def clamp(self, value: int) -> int:
+        """Clamp *value* into the range."""
+        return min(self.hi, max(self.lo, value))
+
+    def intersect(self, other: "IntRange") -> "IntRange | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return IntRange(lo, hi)
+
+    def union(self, other: "IntRange") -> "IntRange":
+        return IntRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+
+@dataclass(frozen=True)
+class CType:
+    """A mini-C scalar type.
+
+    Attributes
+    ----------
+    name:
+        The canonical spelling used by the pretty printer (``"Int16"``).
+    bits:
+        Storage width in bits.  Booleans use 1 bit in the abstract semantics
+        even though C compilers typically store them in a full byte; the
+        8/16-bit distinction only drives the cost model and wrap-around
+        arithmetic.
+    signed:
+        Whether arithmetic wraps as two's-complement signed.
+    is_bool:
+        Booleans additionally normalise every stored value to 0 or 1.
+    """
+
+    name: str
+    bits: int
+    signed: bool
+    is_bool: bool = False
+    is_void: bool = False
+
+    # ------------------------------------------------------------------ #
+    # value semantics
+    # ------------------------------------------------------------------ #
+    @property
+    def min_value(self) -> int:
+        if self.is_void:
+            raise TypeError("void has no values")
+        if self.is_bool:
+            return 0
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        if self.is_void:
+            raise TypeError("void has no values")
+        if self.is_bool:
+            return 1
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def value_range(self) -> IntRange:
+        """The representable range of the type."""
+        return IntRange(self.min_value, self.max_value)
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python integer into the type's domain.
+
+        Integers wrap modulo ``2**bits`` with two's-complement
+        reinterpretation for signed types; booleans normalise to 0/1.
+        """
+        if self.is_void:
+            raise TypeError("cannot store a value of type void")
+        if self.is_bool:
+            return 1 if value != 0 else 0
+        value &= (1 << self.bits) - 1
+        if self.signed and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+# canonical instances --------------------------------------------------- #
+VOID = CType("void", 0, signed=False, is_void=True)
+BOOL = CType("Bool", 1, signed=False, is_bool=True)
+INT8 = CType("Int8", 8, signed=True)
+UINT8 = CType("UInt8", 8, signed=False)
+INT16 = CType("Int16", 16, signed=True)
+UINT16 = CType("UInt16", 16, signed=False)
+INT32 = CType("Int32", 32, signed=True)
+UINT32 = CType("UInt32", 32, signed=False)
+
+#: All scalar (non-void) types.
+SCALAR_TYPES = (BOOL, INT8, UINT8, INT16, UINT16, INT32, UINT32)
+
+#: Mapping from every accepted type spelling to the canonical type.  The
+#: table accepts both plain C spellings ("int", "unsigned char", ...) and the
+#: TargetLink-style fixed width typedefs ("Int16", "UInt8", "Bool").
+TYPE_SPELLINGS: dict[str, CType] = {
+    "void": VOID,
+    "bool": BOOL,
+    "_Bool": BOOL,
+    "Bool": BOOL,
+    "boolean": BOOL,
+    "char": INT8,
+    "signed char": INT8,
+    "unsigned char": UINT8,
+    "short": INT16,
+    "short int": INT16,
+    "signed short": INT16,
+    "unsigned short": UINT16,
+    "unsigned short int": UINT16,
+    "int": INT16,
+    "signed int": INT16,
+    "signed": INT16,
+    "unsigned": UINT16,
+    "unsigned int": UINT16,
+    "long": INT32,
+    "long int": INT32,
+    "unsigned long": UINT32,
+    "unsigned long int": UINT32,
+    "Int8": INT8,
+    "UInt8": UINT8,
+    "Int16": INT16,
+    "UInt16": UINT16,
+    "Int32": INT32,
+    "UInt32": UINT32,
+}
+
+
+def lookup_type(spelling: str) -> CType | None:
+    """Resolve a type spelling to its canonical :class:`CType`.
+
+    Returns ``None`` for unknown spellings; the parser turns that into a
+    :class:`~repro.minic.errors.ParseError` with a proper location.
+
+    Note: the paper targets 16-bit microcontrollers (Motorola HCS12), so plain
+    ``int`` maps to 16 bits -- this also matches the paper's remark that C
+    booleans are "mostly encoded as 16 bit integers".
+    """
+    return TYPE_SPELLINGS.get(spelling)
+
+
+def common_type(left: CType, right: CType) -> CType:
+    """The usual-arithmetic-conversion result type of a binary operation.
+
+    A simplified version of C's integer promotion rules that is adequate for
+    generated control code: both operands are promoted to the wider of the two
+    widths (at least 16 bits), and the result is unsigned if either promoted
+    operand is unsigned at that width.
+    """
+    if left.is_void or right.is_void:
+        raise TypeError("void operand in arithmetic")
+    bits = max(16, left.bits, right.bits)
+    unsigned = any(
+        not t.is_bool and not t.signed and t.bits >= bits for t in (left, right)
+    )
+    if bits <= 16:
+        return UINT16 if unsigned else INT16
+    return UINT32 if unsigned else INT32

@@ -1,0 +1,49 @@
+"""State-space optimisations for model checking (the paper's Section 3.2)."""
+
+from __future__ import annotations
+
+from .dead_elimination import (
+    DeadEliminationReport,
+    apply_dead_code_elimination,
+    dead_variable_set,
+)
+from .live_variable import (
+    LiveVariableReport,
+    apply_live_variable_optimisation,
+    plan_live_variable_sharing,
+)
+from .pipeline import (
+    TABLE2_CONFIGURATIONS,
+    OptimizationConfig,
+    OptimizedModel,
+    build_optimized_model,
+)
+from .reverse_cse import (
+    ReverseCseReport,
+    apply_reverse_cse,
+    find_substitutable_temporaries,
+)
+from .rewrite import RewritePlan, clone_expr, rewrite_function, rewrite_statement
+from .statement_concat import ConcatenationReport, apply_statement_concatenation
+
+__all__ = [
+    "DeadEliminationReport",
+    "apply_dead_code_elimination",
+    "dead_variable_set",
+    "LiveVariableReport",
+    "apply_live_variable_optimisation",
+    "plan_live_variable_sharing",
+    "TABLE2_CONFIGURATIONS",
+    "OptimizationConfig",
+    "OptimizedModel",
+    "build_optimized_model",
+    "ReverseCseReport",
+    "apply_reverse_cse",
+    "find_substitutable_temporaries",
+    "RewritePlan",
+    "clone_expr",
+    "rewrite_function",
+    "rewrite_statement",
+    "ConcatenationReport",
+    "apply_statement_concatenation",
+]

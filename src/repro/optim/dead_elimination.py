@@ -1,0 +1,100 @@
+"""Dead variable and code elimination (Section 3.2.6).
+
+    "Since we are not interested in the data flow but only in the control
+    flow, all variables that do not affect the control flow directly or
+    through assignments to other variables can be removed.  Even code
+    segments that do not affect variables involved in the control flow can
+    be removed, as long as we are not looking for test data to reach these
+    paths."
+
+Two levels, matching the paper:
+
+* **dead-variable elimination** (the Table 2 configuration) removes the
+  control-flow-irrelevant variables from the *model*: they are excluded from
+  the translated transition system and assignments to them become skip
+  transitions, so the number of transitions (and hence counterexample step
+  counts) stays the same while the state vector shrinks;
+* **dead-code elimination** (an additional option) also deletes the
+  assignments themselves from the source, further shortening counterexamples.
+
+The ``keep`` set protects variables the current analysis goal depends on --
+e.g. when the test-data generator asks for a path through code that the
+optimisation would otherwise consider irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.relevance import analyze_relevance
+from ..cfg.builder import build_cfg
+from ..cfg.graph import ControlFlowGraph
+from ..minic.ast_nodes import FunctionDef
+from ..minic.symbols import FunctionSymbolTable, SymbolKind
+from .rewrite import RewritePlan, rewrite_function
+
+
+@dataclass
+class DeadEliminationReport:
+    """Classification produced by the relevance analysis."""
+
+    relevant_variables: list[str] = field(default_factory=list)
+    eliminated_variables: list[str] = field(default_factory=list)
+    removed_statements: int = 0
+
+
+def dead_variable_set(
+    function: FunctionDef,
+    table: FunctionSymbolTable,
+    cfg: ControlFlowGraph | None = None,
+    keep: frozenset[str] = frozenset(),
+) -> tuple[frozenset[str], DeadEliminationReport]:
+    """Variables that can be dropped from the model (control-flow irrelevant)."""
+    cfg = cfg if cfg is not None else build_cfg(function)
+    candidates = {
+        name
+        for name, symbol in table.variables.items()
+        if symbol.is_variable and not symbol.is_input
+    }
+    protected = frozenset(keep) | {
+        name for name, symbol in table.variables.items() if symbol.is_input
+    }
+    result = analyze_relevance(cfg, candidates, keep=protected)
+    eliminated = frozenset(name for name in result.irrelevant if name not in protected)
+    report = DeadEliminationReport(
+        relevant_variables=sorted(result.relevant | protected),
+        eliminated_variables=sorted(eliminated),
+    )
+    return eliminated, report
+
+
+def apply_dead_code_elimination(
+    function: FunctionDef,
+    table: FunctionSymbolTable,
+    cfg: ControlFlowGraph | None = None,
+    keep: frozenset[str] = frozenset(),
+) -> tuple[FunctionDef, DeadEliminationReport]:
+    """Remove statements that only touch control-flow-irrelevant variables."""
+    cfg = cfg if cfg is not None else build_cfg(function)
+    eliminated, report = dead_variable_set(function, table, cfg, keep)
+    del eliminated
+    candidates = {
+        name
+        for name, symbol in table.variables.items()
+        if symbol.is_variable and not symbol.is_input
+    }
+    protected = frozenset(keep) | {
+        name for name, symbol in table.variables.items() if symbol.is_input
+    }
+    relevance = analyze_relevance(cfg, candidates, keep=protected)
+    drop = {stmt.node_id for stmt in relevance.removable_statements}
+    report.removed_statements = len(drop)
+    # also remove the declarations of eliminated locals (their assignments are
+    # gone, so the declarations would otherwise survive as dead 16-bit state)
+    droppable_declarations = {
+        name
+        for name in report.eliminated_variables
+        if table.variables[name].kind is SymbolKind.LOCAL
+    }
+    plan = RewritePlan(drop_statements=drop, drop_declarations=droppable_declarations)
+    return rewrite_function(function, plan), report

@@ -1,0 +1,178 @@
+"""Reverse common-subexpression elimination (Section 3.2.1).
+
+    "This optimisation is the contrary to Common Subexpression Elimination
+    (CSE) known from compilers.  Temporary variables containing intermediate
+    results are replaced by the values that are assigned to them.  [...] The
+    performance loss from recalculating the subexpression is small compared
+    to the gain from the reduced state space."
+
+A temporary is substituted when doing so is obviously sound:
+
+* it is assigned exactly once in the function (declaration initialiser or a
+  single assignment statement);
+* the defining expression is pure (no calls, no nested assignments);
+* every variable the defining expression reads is itself assigned at most
+  once, and that assignment appears before the temporary's definition in the
+  (topologically ordered) CFG -- i.e. the operands cannot change between the
+  definition and any use;
+* the definition is not inside a loop.
+
+These conditions are conservative but cover the generated code the paper
+targets (chains of ``tmp = expr; ... use(tmp) ...`` produced by block-diagram
+code generators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.builder import build_cfg
+from ..cfg.dominators import natural_loops
+from ..cfg.graph import ControlFlowGraph
+from ..minic.ast_nodes import (
+    AssignExpr,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FunctionDef,
+    Stmt,
+)
+from ..minic.folding import expression_variables, has_calls
+from ..minic.folding import assigned_variables
+from ..minic.symbols import FunctionSymbolTable, SymbolKind
+from .rewrite import RewritePlan, clone_expr, rewrite_function
+
+
+@dataclass
+class ReverseCseReport:
+    """Which temporaries were substituted (and which candidates were rejected)."""
+
+    substituted: list[str] = field(default_factory=list)
+    rejected: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _DefinitionSite:
+    statement: Stmt
+    expr: Expr
+    order: int
+    block_id: int
+
+
+def _definition_sites(cfg: ControlFlowGraph) -> dict[str, list[_DefinitionSite]]:
+    """All assignment sites per variable, in topological program order."""
+    sites: dict[str, list[_DefinitionSite]] = {}
+    order = 0
+    for block in cfg.topological_order():
+        for stmt in block.statements:
+            order += 1
+            if isinstance(stmt, DeclStmt) and stmt.init is not None:
+                sites.setdefault(stmt.name, []).append(
+                    _DefinitionSite(stmt, stmt.init, order, block.block_id)
+                )
+            elif isinstance(stmt, ExprStmt) and isinstance(stmt.expr, AssignExpr):
+                target = stmt.expr.target.name
+                sites.setdefault(target, []).append(
+                    _DefinitionSite(stmt, stmt.expr.value, order, block.block_id)
+                )
+            elif isinstance(stmt, ExprStmt):
+                for target in assigned_variables(stmt.expr):
+                    sites.setdefault(target, []).append(
+                        _DefinitionSite(stmt, stmt.expr, order, block.block_id)
+                    )
+    return sites
+
+
+def find_substitutable_temporaries(
+    function: FunctionDef,
+    table: FunctionSymbolTable,
+    cfg: ControlFlowGraph | None = None,
+) -> tuple[dict[str, Expr], ReverseCseReport]:
+    """Temporaries that can be replaced by their defining expression."""
+    cfg = cfg if cfg is not None else build_cfg(function)
+    report = ReverseCseReport()
+    sites = _definition_sites(cfg)
+    loop_blocks: set[int] = set()
+    for _, body in natural_loops(cfg):
+        loop_blocks |= body
+
+    substitution: dict[str, Expr] = {}
+    for name, symbol in table.variables.items():
+        if symbol.kind not in (SymbolKind.LOCAL,):
+            continue  # only locals are temporaries; inputs/globals stay
+        if symbol.is_input:
+            continue
+        definitions = sites.get(name, [])
+        if len(definitions) != 1:
+            if len(definitions) > 1:
+                report.rejected[name] = "assigned more than once"
+            continue
+        definition = definitions[0]
+        if isinstance(definition.statement, ExprStmt) and not isinstance(
+            definition.statement.expr, AssignExpr
+        ):
+            report.rejected[name] = "assigned through a compound expression"
+            continue
+        rhs = definition.expr
+        if has_calls(rhs) or assigned_variables(rhs):
+            report.rejected[name] = "defining expression has side effects"
+            continue
+        if definition.block_id in loop_blocks:
+            report.rejected[name] = "defined inside a loop"
+            continue
+        operands_ok = True
+        for operand in expression_variables(rhs):
+            operand_defs = sites.get(operand, [])
+            if len(operand_defs) > 1:
+                operands_ok = False
+                report.rejected[name] = f"operand {operand!r} assigned more than once"
+                break
+            if operand_defs and operand_defs[0].order >= definition.order:
+                operands_ok = False
+                report.rejected[name] = f"operand {operand!r} assigned after the definition"
+                break
+        if not operands_ok:
+            continue
+        substitution[name] = rhs
+        report.substituted.append(name)
+
+    # resolve chains (t2 = t1 + 1 where t1 is itself substituted)
+    changed = True
+    while changed:
+        changed = False
+        for name, rhs in list(substitution.items()):
+            rhs_vars = expression_variables(rhs)
+            overlap = rhs_vars & substitution.keys()
+            if overlap:
+                plan = RewritePlan(substitute={v: substitution[v] for v in overlap})
+                substitution[name] = clone_expr(rhs, plan)
+                changed = True
+    return substitution, report
+
+
+def apply_reverse_cse(
+    function: FunctionDef,
+    table: FunctionSymbolTable,
+    cfg: ControlFlowGraph | None = None,
+) -> tuple[FunctionDef, ReverseCseReport]:
+    """Return a copy of *function* with substitutable temporaries inlined.
+
+    The temporaries' declarations and defining statements are removed; every
+    use is replaced by (a copy of) the defining expression.
+    """
+    cfg = cfg if cfg is not None else build_cfg(function)
+    substitution, report = find_substitutable_temporaries(function, table, cfg)
+    if not substitution:
+        return rewrite_function(function, RewritePlan()), report
+
+    drop_statements: set[int] = set()
+    sites = _definition_sites(cfg)
+    for name in substitution:
+        for site in sites.get(name, ()):  # exactly one by construction
+            drop_statements.add(site.statement.node_id)
+    plan = RewritePlan(
+        substitute=dict(substitution),
+        drop_statements=drop_statements,
+        drop_declarations=set(substitution),
+    )
+    return rewrite_function(function, plan), report

@@ -1,0 +1,215 @@
+"""AST rewriting utilities shared by the source-level optimisations.
+
+The reverse-CSE and live-variable optimisations are implemented as
+source-to-source transformations (the paper applies them during the C-to-SAL
+conversion; transforming the mini-C AST and re-running semantic analysis keeps
+every later stage -- translation, interpretation, test generation -- perfectly
+consistent).  This module provides deep-copying rewriters:
+
+* :func:`clone_expr` -- copy an expression, substituting identifiers,
+* :func:`rewrite_statement` -- copy a statement tree, substituting identifiers
+  in expressions, renaming assignment/declaration targets and dropping
+  statements by node id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..minic.ast_nodes import (
+    AssignExpr,
+    BinaryOp,
+    BoolLiteral,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CompoundStmt,
+    Conditional,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    ReturnStmt,
+    Stmt,
+    SwitchCase,
+    SwitchStmt,
+    UnaryOp,
+    WhileStmt,
+)
+
+
+@dataclass
+class RewritePlan:
+    """What to change while copying a function body.
+
+    ``substitute``
+        identifier name -> replacement expression (used by reverse CSE).
+    ``rename``
+        variable name -> new name, applied to identifier uses *and* to
+        assignment / declaration targets (used by live-variable sharing).
+    ``drop_statements``
+        node ids of statements to remove entirely.
+    ``declaration_to_assignment``
+        names whose declarations should be turned into plain assignments
+        (because the declaration moved elsewhere after variable merging).
+    ``drop_declarations``
+        names whose declarations should be removed entirely.
+    """
+
+    substitute: dict[str, Expr] = field(default_factory=dict)
+    rename: dict[str, str] = field(default_factory=dict)
+    drop_statements: set[int] = field(default_factory=set)
+    declaration_to_assignment: set[str] = field(default_factory=set)
+    drop_declarations: set[str] = field(default_factory=set)
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+def clone_expr(expr: Expr, plan: RewritePlan | None = None) -> Expr:
+    """Deep-copy *expr*, applying the plan's substitutions and renames."""
+    plan = plan or RewritePlan()
+    if isinstance(expr, IntLiteral):
+        return IntLiteral(value=expr.value, location=expr.location)
+    if isinstance(expr, BoolLiteral):
+        return BoolLiteral(value=expr.value, location=expr.location)
+    if isinstance(expr, Identifier):
+        if expr.name in plan.substitute:
+            return clone_expr(plan.substitute[expr.name], RewritePlan())
+        name = plan.rename.get(expr.name, expr.name)
+        return Identifier(name=name, location=expr.location)
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=clone_expr(expr.operand, plan),
+                       location=expr.location)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(op=expr.op, left=clone_expr(expr.left, plan),
+                        right=clone_expr(expr.right, plan), location=expr.location)
+    if isinstance(expr, Conditional):
+        return Conditional(
+            cond=clone_expr(expr.cond, plan),
+            then=clone_expr(expr.then, plan),
+            otherwise=clone_expr(expr.otherwise, plan),
+            location=expr.location,
+        )
+    if isinstance(expr, AssignExpr):
+        target_name = plan.rename.get(expr.target.name, expr.target.name)
+        return AssignExpr(
+            target=Identifier(name=target_name, location=expr.target.location),
+            value=clone_expr(expr.value, plan),
+            location=expr.location,
+        )
+    if isinstance(expr, CastExpr):
+        return CastExpr(target_type=expr.target_type,
+                        operand=clone_expr(expr.operand, plan), location=expr.location)
+    if isinstance(expr, CallExpr):
+        return CallExpr(name=expr.name, args=[clone_expr(a, plan) for a in expr.args],
+                        location=expr.location)
+    raise TypeError(f"cannot clone expression {type(expr).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+def rewrite_statement(stmt: Stmt, plan: RewritePlan) -> Stmt | None:
+    """Deep-copy *stmt* under *plan*; ``None`` means the statement is dropped."""
+    if stmt.node_id in plan.drop_statements:
+        return None
+    if isinstance(stmt, CompoundStmt):
+        statements = []
+        for child in stmt.statements:
+            rewritten = rewrite_statement(child, plan)
+            if rewritten is not None:
+                statements.append(rewritten)
+        return CompoundStmt(statements=statements, location=stmt.location)
+    if isinstance(stmt, DeclStmt):
+        if stmt.name in plan.drop_declarations:
+            return None
+        if stmt.name in plan.declaration_to_assignment:
+            name = plan.rename.get(stmt.name, stmt.name)
+            if stmt.init is None:
+                return None
+            return ExprStmt(
+                expr=AssignExpr(
+                    target=Identifier(name=name, location=stmt.location),
+                    value=clone_expr(stmt.init, plan),
+                    location=stmt.location,
+                ),
+                location=stmt.location,
+            )
+        init = clone_expr(stmt.init, plan) if stmt.init is not None else None
+        return DeclStmt(name=stmt.name, var_type=stmt.var_type, init=init,
+                        location=stmt.location)
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(expr=clone_expr(stmt.expr, plan), location=stmt.location)
+    if isinstance(stmt, IfStmt):
+        then_branch = rewrite_statement(stmt.then_branch, plan) or CompoundStmt(
+            statements=[], location=stmt.location
+        )
+        else_branch = None
+        if stmt.else_branch is not None:
+            else_branch = rewrite_statement(stmt.else_branch, plan)
+        return IfStmt(cond=clone_expr(stmt.cond, plan), then_branch=then_branch,
+                      else_branch=else_branch, location=stmt.location)
+    if isinstance(stmt, SwitchStmt):
+        cases = []
+        for case in stmt.cases:
+            body = rewrite_statement(case.body, plan) or CompoundStmt(
+                statements=[], location=case.location
+            )
+            cases.append(
+                SwitchCase(values=list(case.values), body=body,  # type: ignore[arg-type]
+                           is_default=case.is_default, location=case.location)
+            )
+        return SwitchStmt(expr=clone_expr(stmt.expr, plan), cases=cases,
+                          location=stmt.location)
+    if isinstance(stmt, WhileStmt):
+        body = rewrite_statement(stmt.body, plan) or CompoundStmt(
+            statements=[], location=stmt.location
+        )
+        return WhileStmt(cond=clone_expr(stmt.cond, plan), body=body,
+                         loop_bound=stmt.loop_bound, location=stmt.location)
+    if isinstance(stmt, DoWhileStmt):
+        body = rewrite_statement(stmt.body, plan) or CompoundStmt(
+            statements=[], location=stmt.location
+        )
+        return DoWhileStmt(body=body, cond=clone_expr(stmt.cond, plan),
+                           loop_bound=stmt.loop_bound, location=stmt.location)
+    if isinstance(stmt, ForStmt):
+        init = rewrite_statement(stmt.init, plan) if stmt.init is not None else None
+        body = rewrite_statement(stmt.body, plan) or CompoundStmt(
+            statements=[], location=stmt.location
+        )
+        return ForStmt(
+            init=init,
+            cond=clone_expr(stmt.cond, plan) if stmt.cond is not None else None,
+            step=clone_expr(stmt.step, plan) if stmt.step is not None else None,
+            body=body,
+            loop_bound=stmt.loop_bound,
+            location=stmt.location,
+        )
+    if isinstance(stmt, ReturnStmt):
+        value = clone_expr(stmt.value, plan) if stmt.value is not None else None
+        return ReturnStmt(value=value, location=stmt.location)
+    if isinstance(stmt, (BreakStmt, ContinueStmt, EmptyStmt)):
+        return type(stmt)(location=stmt.location)
+    raise TypeError(f"cannot rewrite statement {type(stmt).__name__}")
+
+
+def rewrite_function(function: FunctionDef, plan: RewritePlan) -> FunctionDef:
+    """Copy *function* with its body rewritten under *plan*."""
+    body = rewrite_statement(function.body, plan)
+    assert isinstance(body, CompoundStmt)
+    return FunctionDef(
+        name=function.name,
+        return_type=function.return_type,
+        params=list(function.params),
+        body=body,
+        location=function.location,
+    )

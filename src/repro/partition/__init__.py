@@ -1,0 +1,47 @@
+"""CFG partitioning into program segments (the paper's Section 2)."""
+
+from __future__ import annotations
+
+from .astmap import AstBlockMap
+from .general import (
+    GeneralPartitionOptions,
+    GeneralPartitioner,
+    partition_function_general,
+)
+from .instrument import (
+    InstrumentationPlan,
+    InstrumentationPoint,
+    PointKind,
+    annotate_source,
+    build_instrumentation_plan,
+    segment_summary,
+)
+from .partitioner import (
+    PaperPartitioner,
+    PartitionError,
+    PartitionOptions,
+    measurement_effort_table,
+    partition_function,
+)
+from .segment import PartitionResult, ProgramSegment, SegmentKind
+
+__all__ = [
+    "AstBlockMap",
+    "GeneralPartitionOptions",
+    "GeneralPartitioner",
+    "partition_function_general",
+    "InstrumentationPlan",
+    "InstrumentationPoint",
+    "PointKind",
+    "annotate_source",
+    "build_instrumentation_plan",
+    "segment_summary",
+    "PaperPartitioner",
+    "PartitionError",
+    "PartitionOptions",
+    "measurement_effort_table",
+    "partition_function",
+    "PartitionResult",
+    "ProgramSegment",
+    "SegmentKind",
+]

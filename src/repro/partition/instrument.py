@@ -1,0 +1,179 @@
+"""Instrumentation-point placement.
+
+After partitioning, "instrumentation points are introduced before and after
+the program segments" (Section 2.1).  On the real target the points start and
+stop the HCS12 cycle-counter register; in this reproduction they are hooks the
+interpreter (:mod:`repro.hw.interpreter`) fires when execution enters specific
+CFG blocks.
+
+:class:`InstrumentationPlan` lists every instrumentation point, knows which
+block-entry events trigger which points, and can render an annotated source
+listing that shows where the points sit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cfg.graph import ControlFlowGraph
+from .segment import PartitionResult
+
+
+class PointKind(enum.Enum):
+    """Whether an instrumentation point starts or stops a segment measurement."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class InstrumentationPoint:
+    """A single instrumentation point.
+
+    ``trigger_block`` is the CFG block whose *entry* fires the point:
+
+    * for an ENTRY point this is the segment's entry block (the cycle counter
+      is read just before the block starts executing);
+    * for an EXIT point it is the block an exit edge leads to (the counter is
+      read when control has left the segment).  ``None`` means the segment
+      exits the function, in which case the function-return event fires it.
+    """
+
+    point_id: int
+    kind: PointKind
+    segment_id: int
+    trigger_block: int | None
+
+
+@dataclass
+class InstrumentationPlan:
+    """All instrumentation points of one partitioned function."""
+
+    function_name: str
+    path_bound: int
+    points: list[InstrumentationPoint] = field(default_factory=list)
+    #: block id -> points fired when that block is entered
+    triggers: dict[int, list[InstrumentationPoint]] = field(default_factory=dict)
+    #: points fired when the function returns
+    end_of_function_points: list[InstrumentationPoint] = field(default_factory=list)
+
+    @property
+    def point_count(self) -> int:
+        return len(self.points)
+
+    def points_for_segment(self, segment_id: int) -> list[InstrumentationPoint]:
+        return [p for p in self.points if p.segment_id == segment_id]
+
+    def entry_point(self, segment_id: int) -> InstrumentationPoint:
+        for point in self.points:
+            if point.segment_id == segment_id and point.kind is PointKind.ENTRY:
+                return point
+        raise KeyError(f"segment {segment_id} has no entry point")
+
+
+def build_instrumentation_plan(
+    result: PartitionResult, cfg: ControlFlowGraph
+) -> InstrumentationPlan:
+    """Place instrumentation points before and after every segment.
+
+    The plan mirrors the paper's counting: every segment receives exactly one
+    ENTRY point and one logical EXIT point.  A segment with several exit edges
+    still counts a single exit instrumentation point (the same counter-read
+    instruction is duplicated on each exit edge of the object code), so
+    ``plan.point_count == result.instrumentation_points``.
+    """
+    plan = InstrumentationPlan(
+        function_name=result.function_name, path_bound=result.path_bound
+    )
+    next_id = 0
+    for segment in result.segments:
+        entry_point = InstrumentationPoint(
+            point_id=next_id,
+            kind=PointKind.ENTRY,
+            segment_id=segment.segment_id,
+            trigger_block=segment.entry_block,
+        )
+        next_id += 1
+        plan.points.append(entry_point)
+        plan.triggers.setdefault(segment.entry_block, []).append(entry_point)
+
+        exit_targets = sorted(
+            {edge.target for edge in segment.exit_edges(cfg)}
+        )
+        exit_point = InstrumentationPoint(
+            point_id=next_id,
+            kind=PointKind.EXIT,
+            segment_id=segment.segment_id,
+            trigger_block=exit_targets[0] if exit_targets else None,
+        )
+        next_id += 1
+        plan.points.append(exit_point)
+        fires_at_end = False
+        for target in exit_targets:
+            if target == cfg.exit.block_id:
+                fires_at_end = True
+                continue
+            plan.triggers.setdefault(target, []).append(exit_point)
+        if fires_at_end or not exit_targets:
+            plan.end_of_function_points.append(exit_point)
+    return plan
+
+
+def annotate_source(
+    result: PartitionResult, cfg: ControlFlowGraph, source: str
+) -> str:
+    """Produce a human-readable instrumented listing.
+
+    Each source line that starts a segment's entry block is prefixed with a
+    ``/* IP<id> begin segment k */`` marker and segment summaries are appended
+    at the end -- the textual analogue of the instrumented executable the
+    paper uploads to the evaluation board.
+    """
+    line_markers: dict[int, list[str]] = {}
+    for segment in result.segments:
+        entry_block = cfg.block(segment.entry_block)
+        line = entry_block.source_line
+        if line is None:
+            continue
+        line_markers.setdefault(line, []).append(
+            f"/* IP begin segment {segment.segment_id} "
+            f"({segment.kind.value}, {segment.path_count} path(s)) */"
+        )
+
+    output: list[str] = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        for marker in line_markers.get(number, ()):
+            indent = text[: len(text) - len(text.lstrip())]
+            output.append(f"{indent}{marker}")
+        output.append(text)
+    output.append("")
+    output.append(f"/* {len(result.segments)} program segments, "
+                  f"{result.instrumentation_points} instrumentation points, "
+                  f"{result.measurements} measurements (path bound "
+                  f"{result.path_bound}) */")
+    for segment in result.segments:
+        blocks = ",".join(str(b) for b in sorted(segment.block_ids))
+        output.append(
+            f"/*   segment {segment.segment_id}: {segment.kind.value:>14} "
+            f"blocks [{blocks}] paths {segment.path_count} "
+            f"{segment.description} */"
+        )
+    return "\n".join(output) + "\n"
+
+
+def segment_summary(result: PartitionResult) -> list[dict[str, object]]:
+    """Tabular summary of a partition result (used by reports and the CLI)."""
+    rows: list[dict[str, object]] = []
+    for segment in result.segments:
+        rows.append(
+            {
+                "segment": segment.segment_id,
+                "kind": segment.kind.value,
+                "blocks": sorted(segment.block_ids),
+                "paths": segment.path_count,
+                "description": segment.description,
+            }
+        )
+    return rows
+

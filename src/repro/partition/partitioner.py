@@ -1,0 +1,268 @@
+"""The paper's hierarchical CFG partitioning algorithm (Section 2.2).
+
+The algorithm, as described in the paper and reverse-engineered from its
+Table 1 (see DESIGN.md §5):
+
+1. The whole function is the initial program segment.  If its path count is
+   at most the path bound *b*, it is measured end to end: two instrumentation
+   points, one measurement per path.
+2. Otherwise the segment is decomposed along the abstract syntax tree:
+
+   * condition blocks and straight-line blocks fall back to basic-block
+     granularity (one segment each);
+   * every *branch alternative* (then/else branch, switch case body, loop
+     body) that itself contains branching (more than one internal path) is a
+     candidate sub-segment: it is measured as a whole when its path count is
+     ≤ *b*, and recursively decomposed when it is not.
+
+   Straight-line alternatives are *not* fused -- the paper's prototype keeps
+   them at basic-block granularity (its footnote about "intelligent
+   instrumentation" being future work confirms this); the generalised
+   partitioner in :mod:`repro.partition.general` adds that fusion.
+
+The entry point is :class:`PaperPartitioner` (or the convenience function
+:func:`partition_function`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.builder import build_cfg
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.paths import DEFAULT_LOOP_BOUND, count_ast_paths
+from ..minic.ast_nodes import CompoundStmt, FunctionDef, Node, Stmt
+from ..minic.pretty import PrettyPrinter
+from .astmap import AstBlockMap
+from .segment import PartitionResult, ProgramSegment, SegmentKind
+
+
+class PartitionError(Exception):
+    """Raised when a function cannot be partitioned."""
+
+
+@dataclass
+class PartitionOptions:
+    """Tunable knobs of the partitioning process.
+
+    ``default_loop_bound`` feeds the path counter for loops without a
+    ``#pragma loopbound`` annotation (the paper's workloads are loop free,
+    generated state machines use bounded iteration).
+    """
+
+    default_loop_bound: int | None = DEFAULT_LOOP_BOUND
+
+
+class PaperPartitioner:
+    """Partition a function's CFG into program segments for a path bound."""
+
+    def __init__(self, path_bound: int, options: PartitionOptions | None = None):
+        if path_bound < 1:
+            raise PartitionError("the path bound must be at least 1")
+        self._bound = path_bound
+        self._options = options or PartitionOptions()
+        self._printer = PrettyPrinter()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def partition(
+        self, function: FunctionDef, cfg: ControlFlowGraph | None = None
+    ) -> PartitionResult:
+        """Partition *function* and return the resulting segments.
+
+        ``cfg`` may be passed when the caller already built it; otherwise it
+        is constructed here.
+        """
+        cfg = cfg if cfg is not None else build_cfg(function)
+        if cfg.function_name != function.name:
+            raise PartitionError(
+                f"CFG belongs to {cfg.function_name!r}, not {function.name!r}"
+            )
+        ast_map = AstBlockMap.build(cfg)
+        total_paths = count_ast_paths(
+            function, default_loop_bound=self._options.default_loop_bound
+        )
+        result = PartitionResult(
+            function_name=function.name,
+            path_bound=self._bound,
+            total_paths=total_paths,
+        )
+
+        real_blocks = {block.block_id for block in cfg.real_blocks()}
+        if total_paths <= self._bound:
+            # the whole function fits under the bound: measure end to end
+            entry_block = self._function_entry_block(cfg)
+            result.segments.append(
+                ProgramSegment(
+                    segment_id=0,
+                    kind=SegmentKind.WHOLE_FUNCTION,
+                    block_ids=frozenset(real_blocks),
+                    entry_block=entry_block,
+                    path_count=total_paths,
+                    ast_node=function.body,
+                    description=f"whole function {function.name}",
+                )
+            )
+            result.validate(cfg)
+            return result
+
+        region_segments: list[ProgramSegment] = []
+        self._decompose_statements(
+            ast_map, function.body.statements, region_segments
+        )
+
+        # every real block not claimed by a region segment is measured as a
+        # stand-alone basic block
+        claimed: set[int] = set()
+        for segment in region_segments:
+            claimed |= segment.block_ids
+        leftovers = sorted(real_blocks - claimed)
+        segments: list[ProgramSegment] = []
+        for block_id in leftovers:
+            segments.append(
+                ProgramSegment(
+                    segment_id=0,  # re-numbered below
+                    kind=SegmentKind.BASIC_BLOCK,
+                    block_ids=frozenset({block_id}),
+                    entry_block=block_id,
+                    path_count=1,
+                    ast_node=None,
+                    description=f"basic block {cfg.block(block_id).label()}",
+                )
+            )
+        segments.extend(region_segments)
+        segments.sort(key=lambda s: min(s.block_ids))
+        for index, segment in enumerate(segments):
+            segment.segment_id = index
+        result.segments = segments
+        result.validate(cfg)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # decomposition along the AST
+    # ------------------------------------------------------------------ #
+    def _decompose_statements(
+        self,
+        ast_map: AstBlockMap,
+        statements: list[Stmt],
+        out_segments: list[ProgramSegment],
+    ) -> None:
+        """Process the top level of a region: find candidate sub-segments."""
+        for stmt in statements:
+            if isinstance(stmt, CompoundStmt):
+                self._decompose_statements(ast_map, stmt.statements, out_segments)
+                continue
+            if not AstBlockMap.is_branching(stmt):
+                continue  # straight-line code stays at basic-block granularity
+            for label, alternative in ast_map.alternatives(stmt):
+                self._handle_alternative(ast_map, stmt, label, alternative, out_segments)
+
+    def _handle_alternative(
+        self,
+        ast_map: AstBlockMap,
+        branch_stmt: Stmt,
+        label: str,
+        alternative: Node,
+        out_segments: list[ProgramSegment],
+    ) -> None:
+        paths = count_ast_paths(
+            alternative,  # type: ignore[arg-type]
+            default_loop_bound=self._options.default_loop_bound,
+        )
+        if paths <= 1:
+            # straight-line alternative: constituent blocks stay individual
+            return
+        if paths <= self._bound:
+            blocks = ast_map.blocks_of_subtree(alternative)
+            if not blocks:
+                return
+            segment = self._make_region_segment(
+                ast_map.cfg, blocks, paths, alternative,
+                f"{self._describe(branch_stmt)} {label}",
+            )
+            out_segments.append(segment)
+            return
+        # too many paths: decompose the alternative further
+        inner = AstBlockMap.nested_statements(alternative)
+        self._decompose_statements(ast_map, inner, out_segments)
+
+    def _make_region_segment(
+        self,
+        cfg: ControlFlowGraph,
+        blocks: set[int],
+        paths: int,
+        ast_node: Node,
+        description: str,
+    ) -> ProgramSegment:
+        entry_block = self._region_entry_block(cfg, blocks)
+        return ProgramSegment(
+            segment_id=0,
+            kind=SegmentKind.REGION,
+            block_ids=frozenset(blocks),
+            entry_block=entry_block,
+            path_count=paths,
+            ast_node=ast_node,
+            description=description,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _region_entry_block(cfg: ControlFlowGraph, blocks: set[int]) -> int:
+        """The unique block of *blocks* that is entered from outside."""
+        entries = sorted(
+            block_id
+            for block_id in blocks
+            if any(edge.source not in blocks for edge in cfg.in_edges(block_id))
+        )
+        if not entries:
+            # fully self-contained region (should not happen for reachable code)
+            return min(blocks)
+        if len(entries) > 1:
+            raise PartitionError(
+                f"region {sorted(blocks)} has multiple entry blocks {entries}; "
+                "it is not a valid program segment"
+            )
+        return entries[0]
+
+    @staticmethod
+    def _function_entry_block(cfg: ControlFlowGraph) -> int:
+        successors = cfg.successors(cfg.entry)
+        if not successors:
+            raise PartitionError("function has an empty CFG")
+        return successors[0].block_id
+
+    def _describe(self, stmt: Stmt) -> str:
+        line = stmt.location.line
+        name = type(stmt).__name__.replace("Stmt", "").lower()
+        return f"{name}@line{line}" if line else name
+
+
+def partition_function(
+    function: FunctionDef,
+    path_bound: int,
+    cfg: ControlFlowGraph | None = None,
+    options: PartitionOptions | None = None,
+) -> PartitionResult:
+    """Partition *function* under *path_bound* (convenience wrapper)."""
+    return PaperPartitioner(path_bound, options).partition(function, cfg)
+
+
+def measurement_effort_table(
+    function: FunctionDef,
+    bounds: list[int],
+    cfg: ControlFlowGraph | None = None,
+    options: PartitionOptions | None = None,
+) -> list[dict[str, int]]:
+    """Reproduce a Table-1-style sweep: one (b, ip, m) row per bound.
+
+    The CFG is built once and reused across all bounds.
+    """
+    cfg = cfg if cfg is not None else build_cfg(function)
+    rows = []
+    for bound in bounds:
+        result = PaperPartitioner(bound, options).partition(function, cfg)
+        rows.append(result.summary_row())
+    return rows

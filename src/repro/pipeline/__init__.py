@@ -1,0 +1,7 @@
+"""End-to-end WCET analysis pipeline (parser → partition → test data → bound)."""
+
+from __future__ import annotations
+
+from .analyzer import AnalysisError, AnalyzerConfig, WcetAnalyzer, analyze_source
+
+__all__ = ["AnalysisError", "AnalyzerConfig", "WcetAnalyzer", "analyze_source"]

@@ -1,0 +1,211 @@
+"""The end-to-end WCET analyzer.
+
+:class:`WcetAnalyzer` wires the whole tool chain of the paper together:
+
+1. parse + semantically analyse the program (``repro.minic``),
+2. build the CFG and partition it into program segments for the configured
+   path bound (``repro.cfg``, ``repro.partition``),
+3. place instrumentation points (``repro.partition.instrument``),
+4. generate test data for every segment path with the hybrid
+   random / genetic / model-checking process (``repro.testgen``),
+5. execute the instrumented program on the simulated HCS12 board and collect
+   per-segment execution times (``repro.hw``, ``repro.measurement``),
+6. combine the per-segment maxima into a WCET bound with the timing schema
+   (``repro.wcet``) and, for small input spaces, compare against the
+   exhaustively measured end-to-end WCET -- the paper's 250 vs 274 cycles
+   comparison.
+
+The result is a :class:`~repro.wcet.report.WcetReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.builder import build_cfg
+from ..hw.board import EvaluationBoard
+from ..hw.cost_model import CostModel, HCS12_COST_MODEL
+from ..measurement.database import MeasurementDatabase
+from ..measurement.runner import MeasurementRunner
+from ..minic import AnalyzedProgram, parse_and_analyze
+from ..partition.general import GeneralPartitionOptions, GeneralPartitioner
+from ..partition.instrument import build_instrumentation_plan
+from ..partition.partitioner import PaperPartitioner, PartitionOptions
+from ..testgen.hybrid import CoverageSource, HybridOptions, HybridTestDataGenerator
+from ..testgen.inputs import InputSpace
+from ..wcet.end_to_end import EndToEndResult, exhaustive_end_to_end
+from ..wcet.report import WcetReport
+from ..wcet.timing_schema import TimingSchema
+
+
+class AnalysisError(Exception):
+    """Raised when the end-to-end analysis cannot be completed."""
+
+
+@dataclass
+class AnalyzerConfig:
+    """Configuration of one WCET analysis run."""
+
+    #: the path bound *b* of the CFG partitioning
+    path_bound: int = 4
+    #: "paper" reproduces the algorithm of Section 2.2, "general" the
+    #: extended partitioner of Section 2.3
+    partitioner: str = "paper"
+    cost_model: CostModel = field(default_factory=lambda: HCS12_COST_MODEL)
+    hybrid: HybridOptions = field(default_factory=HybridOptions)
+    partition_options: PartitionOptions = field(default_factory=PartitionOptions)
+    #: run exhaustive end-to-end measurement when the input space has at most
+    #: this many vectors (None disables the comparison entirely)
+    exhaustive_limit: int | None = 20_000
+    #: extra random vectors measured on top of the generated suite (more
+    #: observations per segment never hurt the maxima)
+    extra_random_vectors: int = 50
+    #: interpreter step budget per run
+    max_steps_per_run: int = 1_000_000
+
+
+class WcetAnalyzer:
+    """Run the complete measurement-based WCET analysis for one function."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        function_name: str,
+        config: AnalyzerConfig | None = None,
+    ):
+        self._analyzed = analyzed
+        self._function = function_name
+        self._config = config or AnalyzerConfig()
+        if not any(f.name == function_name for f in analyzed.program.functions):
+            raise AnalysisError(f"program has no function {function_name!r}")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_source(
+        cls, source: str, function_name: str, config: AnalyzerConfig | None = None
+    ) -> "WcetAnalyzer":
+        return cls(parse_and_analyze(source), function_name, config)
+
+    # ------------------------------------------------------------------ #
+    def analyze(self) -> WcetReport:
+        config = self._config
+        function = self._analyzed.program.function(self._function)
+        cfg = build_cfg(function)
+
+        # 1. partition the CFG into program segments
+        if config.partitioner == "paper":
+            partition = PaperPartitioner(config.path_bound, config.partition_options).partition(
+                function, cfg
+            )
+        elif config.partitioner == "general":
+            options = config.partition_options
+            if not isinstance(options, GeneralPartitionOptions):
+                options = GeneralPartitionOptions(
+                    default_loop_bound=config.partition_options.default_loop_bound
+                )
+            partition = GeneralPartitioner(config.path_bound, options).partition(function, cfg)
+        else:
+            raise AnalysisError(f"unknown partitioner {config.partitioner!r}")
+
+        # 2. instrumentation plan + simulated board
+        plan = build_instrumentation_plan(partition, cfg)
+        board = EvaluationBoard(
+            self._analyzed, cost_model=config.cost_model, max_steps=config.max_steps_per_run
+        )
+
+        # 3. hybrid test-data generation
+        generator = HybridTestDataGenerator(
+            self._analyzed, self._function, board, partition, cfg, config.hybrid
+        )
+        suite = generator.generate()
+
+        # 4. measurement campaign
+        database = MeasurementDatabase()
+        runner = MeasurementRunner(board, self._function, partition, plan, cfg)
+        vectors = list(suite.vectors)
+        if config.extra_random_vectors:
+            from ..testgen.random_gen import RandomTestDataGenerator
+
+            extra = RandomTestDataGenerator(generator.input_space, seed=99)
+            vectors.extend(extra.generate(config.extra_random_vectors))
+        if not vectors:
+            raise AnalysisError(
+                "test-data generation produced no vectors; cannot measure anything"
+            )
+        runner.run_vectors(vectors, database)
+
+        # 5. WCET bound via the timing schema; segments whose every path was
+        #    proven infeasible contribute nothing (they can never execute)
+        unreachable = self._fully_infeasible_segments(partition, suite, database)
+        schema = TimingSchema(
+            cfg,
+            partition,
+            default_loop_bound=config.partition_options.default_loop_bound or 1,
+        )
+        bound = schema.compute(database, unreachable_segments=unreachable)
+
+        # 6. optional exhaustive end-to-end comparison
+        end_to_end = self._maybe_exhaustive(board, generator.input_space)
+
+        return WcetReport(
+            function_name=self._function,
+            path_bound=config.path_bound,
+            partition=partition,
+            bound=bound,
+            database=database,
+            end_to_end=end_to_end,
+            test_vectors_used=len(vectors),
+            infeasible_paths=len(suite.infeasible_targets),
+            generator_statistics={
+                "random_targets": len(suite.targets_by_source(CoverageSource.RANDOM)),
+                "genetic_targets": len(suite.targets_by_source(CoverageSource.GENETIC)),
+                "model_checking_targets": len(
+                    suite.targets_by_source(CoverageSource.MODEL_CHECKING)
+                ),
+                "heuristic_share_percent": int(round(100 * suite.heuristic_share)),
+                "model_checking_queries": suite.model_checking_queries,
+                "genetic_evaluations": suite.genetic_evaluations,
+                "random_vectors_used": suite.random_vectors_used,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fully_infeasible_segments(partition, suite, database) -> set[int]:
+        """Segments with no measurements whose every path target is infeasible."""
+        infeasible_by_segment: dict[int, int] = {}
+        total_by_segment: dict[int, int] = {}
+        for report in suite.reports:
+            segment_id = report.target.segment_id
+            total_by_segment[segment_id] = total_by_segment.get(segment_id, 0) + 1
+            if report.source is CoverageSource.INFEASIBLE:
+                infeasible_by_segment[segment_id] = (
+                    infeasible_by_segment.get(segment_id, 0) + 1
+                )
+        unreachable: set[int] = set()
+        for segment in partition.segments:
+            if database.max_cycles(segment.segment_id) is not None:
+                continue
+            total = total_by_segment.get(segment.segment_id, 0)
+            if total and infeasible_by_segment.get(segment.segment_id, 0) == total:
+                unreachable.add(segment.segment_id)
+        return unreachable
+
+    def _maybe_exhaustive(
+        self, board: EvaluationBoard, input_space: InputSpace
+    ) -> EndToEndResult | None:
+        limit = self._config.exhaustive_limit
+        if limit is None:
+            return None
+        if input_space.size() > limit:
+            return None
+        return exhaustive_end_to_end(
+            board, self._function, input_space.ranges(), limit=limit
+        )
+
+
+def analyze_source(
+    source: str, function_name: str, config: AnalyzerConfig | None = None
+) -> WcetReport:
+    """Convenience wrapper: parse *source* and analyse *function_name*."""
+    return WcetAnalyzer.from_source(source, function_name, config).analyze()

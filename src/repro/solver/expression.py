@@ -1,0 +1,302 @@
+"""Expression evaluation over domains and concrete assignments.
+
+The constraint solver manipulates mini-C expressions directly (no separate
+constraint language): this module provides
+
+* :func:`concrete_eval` -- evaluate an expression under a complete integer
+  assignment,
+* :func:`interval_eval` -- conservative interval evaluation under a partial
+  assignment given as variable domains (the basis of constraint filtering and
+  bounds propagation), and
+* :func:`substitute` -- replace variables by expressions/constants (used by
+  the symbolic model-checking engine to express everything in terms of the
+  initial state).
+"""
+
+from __future__ import annotations
+
+from ..minic.ast_nodes import (
+    AssignExpr,
+    BinaryOp,
+    BoolLiteral,
+    CallExpr,
+    CastExpr,
+    Conditional,
+    Expr,
+    Identifier,
+    IntLiteral,
+    UnaryOp,
+)
+from ..minic.folding import apply_binary, apply_unary, fold_expr
+from ..minic.types import BOOL, INT16, IntRange
+from .domain import Domain
+
+
+class EvaluationError(Exception):
+    """Raised when an expression cannot be evaluated (unbound variable, ...)."""
+
+
+# --------------------------------------------------------------------------- #
+# concrete evaluation
+# --------------------------------------------------------------------------- #
+def concrete_eval(expr: Expr, assignment: dict[str, int]) -> int:
+    """Evaluate *expr* under a complete assignment (C semantics, no wrapping).
+
+    The solver works over mathematical integers restricted by domains, which
+    matches how the transition-system domains were derived from the C types;
+    wrap-around is modelled by the domains themselves.
+    """
+    if isinstance(expr, IntLiteral):
+        return expr.value
+    if isinstance(expr, BoolLiteral):
+        return int(expr.value)
+    if isinstance(expr, Identifier):
+        if expr.name not in assignment:
+            raise EvaluationError(f"unbound variable {expr.name!r}")
+        return assignment[expr.name]
+    if isinstance(expr, UnaryOp):
+        return apply_unary(expr.op, concrete_eval(expr.operand, assignment))
+    if isinstance(expr, BinaryOp):
+        if expr.op == "&&":
+            if concrete_eval(expr.left, assignment) == 0:
+                return 0
+            return int(concrete_eval(expr.right, assignment) != 0)
+        if expr.op == "||":
+            if concrete_eval(expr.left, assignment) != 0:
+                return 1
+            return int(concrete_eval(expr.right, assignment) != 0)
+        try:
+            return apply_binary(
+                expr.op,
+                concrete_eval(expr.left, assignment),
+                concrete_eval(expr.right, assignment),
+            )
+        except ZeroDivisionError as exc:
+            raise EvaluationError("division by zero during evaluation") from exc
+    if isinstance(expr, Conditional):
+        if concrete_eval(expr.cond, assignment) != 0:
+            return concrete_eval(expr.then, assignment)
+        return concrete_eval(expr.otherwise, assignment)
+    if isinstance(expr, CastExpr):
+        return expr.target_type.wrap(concrete_eval(expr.operand, assignment))
+    if isinstance(expr, AssignExpr):
+        return concrete_eval(expr.value, assignment)
+    if isinstance(expr, CallExpr):
+        return 0
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# interval evaluation
+# --------------------------------------------------------------------------- #
+_FULL = IntRange(-(2**31), 2**31 - 1)
+
+
+def interval_eval(expr: Expr, domains: dict[str, Domain]) -> IntRange:
+    """Conservative interval of the values *expr* can take under *domains*."""
+    if isinstance(expr, IntLiteral):
+        return IntRange(expr.value, expr.value)
+    if isinstance(expr, BoolLiteral):
+        v = int(expr.value)
+        return IntRange(v, v)
+    if isinstance(expr, Identifier):
+        domain = domains.get(expr.name)
+        if domain is None:
+            return _FULL
+        return domain.to_range()
+    if isinstance(expr, UnaryOp):
+        operand = interval_eval(expr.operand, domains)
+        if expr.op == "-":
+            return IntRange(-operand.hi, -operand.lo)
+        if expr.op == "+":
+            return operand
+        if expr.op == "!":
+            if operand.lo > 0 or operand.hi < 0:
+                return IntRange(0, 0)
+            if operand.lo == 0 and operand.hi == 0:
+                return IntRange(1, 1)
+            return IntRange(0, 1)
+        if expr.op == "~":
+            return IntRange(~operand.hi, ~operand.lo)
+        return _FULL
+    if isinstance(expr, BinaryOp):
+        return _interval_binary(expr, domains)
+    if isinstance(expr, Conditional):
+        cond = interval_eval(expr.cond, domains)
+        then = interval_eval(expr.then, domains)
+        otherwise = interval_eval(expr.otherwise, domains)
+        if cond.lo > 0 or cond.hi < 0:
+            return then
+        if cond.lo == 0 and cond.hi == 0:
+            return otherwise
+        return then.union(otherwise)
+    if isinstance(expr, CastExpr):
+        operand = interval_eval(expr.operand, domains)
+        target = expr.target_type.value_range()
+        clamped = operand.intersect(target)
+        return clamped if clamped is not None else target
+    if isinstance(expr, AssignExpr):
+        return interval_eval(expr.value, domains)
+    if isinstance(expr, CallExpr):
+        return IntRange(0, 0)
+    return _FULL
+
+
+def _interval_binary(expr: BinaryOp, domains: dict[str, Domain]) -> IntRange:
+    op = expr.op
+    left = interval_eval(expr.left, domains)
+    right = interval_eval(expr.right, domains)
+    if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+        return _interval_relational(op, left, right)
+    if op in ("+", "-", "*"):
+        candidates = [
+            apply_binary(op, a, b)
+            for a in (left.lo, left.hi)
+            for b in (right.lo, right.hi)
+        ]
+        return IntRange(min(candidates), max(candidates))
+    if op == "/":
+        if right.lo <= 0 <= right.hi:
+            return _FULL
+        candidates = [
+            apply_binary("/", a, b)
+            for a in (left.lo, left.hi)
+            for b in (right.lo, right.hi)
+        ]
+        return IntRange(min(candidates), max(candidates))
+    if op == "%":
+        if right.lo <= 0 <= right.hi:
+            return _FULL
+        magnitude = max(abs(right.lo), abs(right.hi)) - 1
+        lo = -magnitude if left.lo < 0 else 0
+        return IntRange(lo, magnitude)
+    if op == "&":
+        if left.lo >= 0 and right.lo >= 0:
+            return IntRange(0, min(left.hi, right.hi))
+        return _FULL
+    if op in ("|", "^"):
+        if left.lo >= 0 and right.lo >= 0:
+            bits = max(left.hi, right.hi).bit_length() or 1
+            return IntRange(0, (1 << bits) - 1)
+        return _FULL
+    if op in ("<<", ">>"):
+        if left.lo >= 0 and 0 <= right.lo <= right.hi <= 31:
+            lo = apply_binary(op, left.lo, right.hi if op == ">>" else right.lo)
+            hi = apply_binary(op, left.hi, right.lo if op == ">>" else right.hi)
+            return IntRange(min(lo, hi), max(lo, hi))
+        return _FULL
+    return _FULL
+
+
+def _interval_relational(op: str, left: IntRange, right: IntRange) -> IntRange:
+    definitely_true = False
+    definitely_false = False
+    if op == "==":
+        if left.lo == left.hi == right.lo == right.hi:
+            definitely_true = True
+        elif left.hi < right.lo or right.hi < left.lo:
+            definitely_false = True
+    elif op == "!=":
+        if left.hi < right.lo or right.hi < left.lo:
+            definitely_true = True
+        elif left.lo == left.hi == right.lo == right.hi:
+            definitely_false = True
+    elif op == "<":
+        if left.hi < right.lo:
+            definitely_true = True
+        elif left.lo >= right.hi:
+            definitely_false = True
+    elif op == "<=":
+        if left.hi <= right.lo:
+            definitely_true = True
+        elif left.lo > right.hi:
+            definitely_false = True
+    elif op == ">":
+        if left.lo > right.hi:
+            definitely_true = True
+        elif left.hi <= right.lo:
+            definitely_false = True
+    elif op == ">=":
+        if left.lo >= right.hi:
+            definitely_true = True
+        elif left.hi < right.lo:
+            definitely_false = True
+    elif op == "&&":
+        if (left.lo > 0 or left.hi < 0) and (right.lo > 0 or right.hi < 0):
+            definitely_true = True
+        elif (left.lo == 0 and left.hi == 0) or (right.lo == 0 and right.hi == 0):
+            definitely_false = True
+    elif op == "||":
+        if (left.lo > 0 or left.hi < 0) or (right.lo > 0 or right.hi < 0):
+            definitely_true = True
+        elif left.lo == 0 and left.hi == 0 and right.lo == 0 and right.hi == 0:
+            definitely_false = True
+    if definitely_true:
+        return IntRange(1, 1)
+    if definitely_false:
+        return IntRange(0, 0)
+    return IntRange(0, 1)
+
+
+# --------------------------------------------------------------------------- #
+# substitution
+# --------------------------------------------------------------------------- #
+def substitute(expr: Expr, environment: dict[str, Expr | int]) -> Expr:
+    """Replace variables in *expr* by the expressions/constants of *environment*.
+
+    Missing variables stay symbolic.  The result is constant-folded, which is
+    what keeps symbolic execution expressions small for the mostly-constant
+    generated code the paper analyses.
+    """
+    replaced = _substitute(expr, environment)
+    return fold_expr(replaced)
+
+
+def _substitute(expr: Expr, environment: dict[str, Expr | int]) -> Expr:
+    if isinstance(expr, Identifier):
+        if expr.name in environment:
+            value = environment[expr.name]
+            if isinstance(value, int):
+                ctype = expr.ctype if expr.ctype is not None else INT16
+                if ctype.is_bool:
+                    return BoolLiteral(value=bool(value), ctype=BOOL, location=expr.location)
+                return IntLiteral(value=value, ctype=ctype, location=expr.location)
+            return value
+        return expr
+    if isinstance(expr, (IntLiteral, BoolLiteral)):
+        return expr
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=_substitute(expr.operand, environment),
+                       ctype=expr.ctype, location=expr.location)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=_substitute(expr.left, environment),
+            right=_substitute(expr.right, environment),
+            ctype=expr.ctype,
+            location=expr.location,
+        )
+    if isinstance(expr, Conditional):
+        return Conditional(
+            cond=_substitute(expr.cond, environment),
+            then=_substitute(expr.then, environment),
+            otherwise=_substitute(expr.otherwise, environment),
+            ctype=expr.ctype,
+            location=expr.location,
+        )
+    if isinstance(expr, CastExpr):
+        return CastExpr(target_type=expr.target_type,
+                        operand=_substitute(expr.operand, environment),
+                        ctype=expr.ctype, location=expr.location)
+    if isinstance(expr, AssignExpr):
+        return _substitute(expr.value, environment)
+    if isinstance(expr, CallExpr):
+        return IntLiteral(value=0, ctype=INT16, location=expr.location)
+    return expr
+
+
+def expression_node_count(expr: Expr) -> int:
+    """Number of nodes of *expr* -- the solver's memory proxy for constraints."""
+    return 1 + sum(
+        expression_node_count(child) for child in expr.children() if isinstance(child, Expr)
+    )

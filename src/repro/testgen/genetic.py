@@ -1,0 +1,323 @@
+"""Genetic-algorithm test-data generation (the paper's heuristic phase).
+
+Section 3 of the paper: "first, test data are generated using heuristic
+methods (i.e. genetic algorithms) until a given coverage bound is reached"
+and, citing Tracey et al. [11], "we expect heuristic methods to generate more
+than 90% of the required test cases".
+
+The GA here is the standard search-based-testing setup:
+
+* an individual is an input vector;
+* the fitness of an individual w.r.t. a target path combines the *approach
+  level* (how many blocks of the target path the execution matched before
+  diverging) with the *normalised branch distance* at the point of divergence
+  (how close the diverging condition was to going the required way), using the
+  branch distances the instrumented interpreter reports;
+* tournament selection, uniform crossover, per-gene mutation and elitism.
+
+The GA runs per target path; the hybrid driver gives it a budget and falls
+back to model checking for whatever remains uncovered.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hw.board import EvaluationBoard
+from ..hw.interpreter import RunResult
+from .inputs import InputSpace
+from .targets import CoverageTracker, PathTarget
+
+
+@dataclass
+class GeneticOptions:
+    """GA hyper-parameters."""
+
+    population_size: int = 30
+    max_generations: int = 40
+    tournament_size: int = 3
+    mutation_rate: float = 0.3
+    crossover_rate: float = 0.8
+    elitism: int = 2
+    seed: int = 1
+
+
+@dataclass
+class GeneticStatistics:
+    evaluations: int = 0
+    generations: int = 0
+    targets_attempted: int = 0
+    targets_covered: int = 0
+
+
+@dataclass
+class GeneticOutcome:
+    """Result of one GA search for one target path."""
+
+    target: PathTarget
+    covered: bool
+    vector: dict[str, int] | None = None
+    best_fitness: float = float("inf")
+    evaluations: int = 0
+
+
+@dataclass
+class _Individual:
+    vector: dict[str, int]
+    fitness: float = float("inf")
+    run: RunResult | None = field(default=None, repr=False)
+
+
+class GeneticTestDataGenerator:
+    """Search-based test-data generation for individual path targets."""
+
+    def __init__(
+        self,
+        board: EvaluationBoard,
+        function_name: str,
+        input_space: InputSpace,
+        options: GeneticOptions | None = None,
+    ):
+        self._board = board
+        self._function = function_name
+        self._space = input_space
+        self._options = options or GeneticOptions()
+        self._rng = random.Random(self._options.seed)
+        self.statistics = GeneticStatistics()
+        #: per-target guidance paths: block sequence from the function entry
+        #: through the target path, plus the CFG edge taken at every step
+        self._guidance_cache: dict[tuple, tuple[tuple[int, ...], dict[int, tuple[int, str]]]] = {}
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        target: PathTarget,
+        coverage: CoverageTracker | None = None,
+        seed_vectors: list[dict[str, int]] | None = None,
+    ) -> GeneticOutcome:
+        """Search for an input vector driving execution along *target*.
+
+        ``coverage`` (when given) is updated with every evaluated run, so the
+        GA's by-products (other targets covered accidentally) are not lost.
+        """
+        options = self._options
+        self.statistics.targets_attempted += 1
+        outcome = GeneticOutcome(target=target, covered=False)
+
+        population = self._initial_population(seed_vectors)
+        for individual in population:
+            self._evaluate(individual, target, coverage, outcome)
+            if individual.fitness == 0.0:
+                return self._finish(outcome, individual)
+
+        for generation in range(options.max_generations):
+            self.statistics.generations += 1
+            population.sort(key=lambda ind: ind.fitness)
+            next_population: list[_Individual] = population[: options.elitism]
+            while len(next_population) < options.population_size:
+                parent_a = self._tournament(population)
+                parent_b = self._tournament(population)
+                if self._rng.random() < options.crossover_rate:
+                    child_vector = self._space.crossover(
+                        parent_a.vector, parent_b.vector, self._rng
+                    )
+                else:
+                    child_vector = dict(parent_a.vector)
+                child_vector = self._space.mutate(
+                    child_vector, self._rng, options.mutation_rate
+                )
+                child = _Individual(vector=self._space.clamp(child_vector))
+                self._evaluate(child, target, coverage, outcome)
+                if child.fitness == 0.0:
+                    return self._finish(outcome, child)
+                next_population.append(child)
+            population = next_population
+            del generation
+        population.sort(key=lambda ind: ind.fitness)
+        outcome.best_fitness = population[0].fitness if population else float("inf")
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    def _initial_population(
+        self, seed_vectors: list[dict[str, int]] | None
+    ) -> list[_Individual]:
+        population: list[_Individual] = []
+        for vector in seed_vectors or []:
+            population.append(_Individual(vector=self._space.clamp(vector)))
+            if len(population) >= self._options.population_size:
+                break
+        while len(population) < self._options.population_size:
+            population.append(_Individual(vector=self._space.random_vector(self._rng)))
+        return population
+
+    def _tournament(self, population: list[_Individual]) -> _Individual:
+        contenders = self._rng.sample(
+            population, min(self._options.tournament_size, len(population))
+        )
+        return min(contenders, key=lambda ind: ind.fitness)
+
+    def _finish(self, outcome: GeneticOutcome, winner: _Individual) -> GeneticOutcome:
+        outcome.covered = True
+        outcome.vector = dict(winner.vector)
+        outcome.best_fitness = 0.0
+        self.statistics.targets_covered += 1
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # fitness
+    # ------------------------------------------------------------------ #
+    def _evaluate(
+        self,
+        individual: _Individual,
+        target: PathTarget,
+        coverage: CoverageTracker | None,
+        outcome: GeneticOutcome,
+    ) -> None:
+        run = self._board.run(self._function, individual.vector)
+        self.statistics.evaluations += 1
+        outcome.evaluations += 1
+        individual.run = run
+        individual.fitness = self.fitness(run, target)
+        if coverage is not None:
+            coverage.record_run(run)
+
+    def fitness(self, run: RunResult, target: PathTarget) -> float:
+        """Approach level + normalised branch distance (lower is better, 0 = hit).
+
+        The approach level is computed against a *guidance path*: one acyclic
+        CFG path from the function entry to the target segment, extended by
+        the target's own block sequence.  Matching is subsequence-based, so
+        detours through unrelated code do not distort the level; the branch
+        distance of the decision where execution left the guidance path
+        provides the fine-grained gradient (Tracey-style objective).
+        """
+        guidance, desired_edges = self._guidance(target)
+        executed = run.executed_blocks
+        matched = 0
+        position = 0
+        for block in executed:
+            if matched < len(guidance) and block == guidance[matched]:
+                matched += 1
+            position += 1
+        if matched == len(guidance):
+            return 0.0
+        approach = len(guidance) - matched
+        diverged_at = guidance[matched - 1] if matched > 0 else None
+        return float(approach) + self._divergence_distance(
+            run, target, diverged_at, desired_edges
+        )
+
+    def _guidance(
+        self, target: PathTarget
+    ) -> tuple[tuple[int, ...], dict[int, tuple[int, str]]]:
+        """Guidance path and desired outgoing edge per guidance block."""
+        key = target.key
+        if key in self._guidance_cache:
+            return self._guidance_cache[key]
+        cfg = self._board.cfg(self._function)
+        from ..cfg.graph import EdgeKind
+
+        # BFS from the entry block to the target's entry block (forward edges)
+        start = cfg.entry.block_id
+        goal = target.blocks[0]
+        parents: dict[int, tuple[int, str]] = {}
+        queue = [start]
+        seen = {start}
+        while queue:
+            current = queue.pop(0)
+            if current == goal:
+                break
+            for edge in cfg.out_edges(current):
+                if edge.kind is EdgeKind.BACK or edge.target in seen:
+                    continue
+                seen.add(edge.target)
+                parents[edge.target] = (current, edge.kind.value)
+                queue.append(edge.target)
+        prefix: list[int] = []
+        desired: dict[int, tuple[int, str]] = {}
+        if goal in parents or goal == start:
+            node = goal
+            while node != start:
+                previous, kind = parents[node]
+                prefix.append(previous)
+                desired[previous] = (node, kind)
+                node = previous
+            prefix.reverse()
+        # drop the virtual entry block from the guidance sequence
+        prefix = [block for block in prefix if block != cfg.entry.block_id]
+        guidance = tuple(prefix) + tuple(target.blocks)
+        for source, target_block, kind in target.edges:
+            desired.setdefault(source, (target_block, kind))
+        result = (guidance, desired)
+        self._guidance_cache[key] = result
+        return result
+
+    def _divergence_distance(
+        self,
+        run: RunResult,
+        target: PathTarget,
+        diverged_at: int | None,
+        desired_edges: dict[int, tuple[int, str]] | None = None,
+    ) -> float:
+        """Normalised distance of the diverging decision toward the desired edge."""
+        if diverged_at is None:
+            return 0.999
+        desired_kind: str | None = None
+        if desired_edges and diverged_at in desired_edges:
+            desired_kind = desired_edges[diverged_at][1]
+        else:
+            for source, target_block, kind in target.edges:
+                del target_block
+                if source == diverged_at:
+                    desired_kind = kind
+                    break
+        # two-way branches: use the recorded branch distances
+        for event in reversed(run.branch_events):
+            if event.block_id == diverged_at:
+                if desired_kind == "true" or desired_kind == "back":
+                    distance = event.distance_true
+                elif desired_kind == "false":
+                    distance = event.distance_false
+                else:
+                    distance = min(event.distance_true, event.distance_false)
+                return _normalise(distance)
+        # switch dispatches: distance between the scrutinee value and the label
+        for event in reversed(run.switch_events):
+            if event.block_id == diverged_at:
+                desired_values = self._case_values(target, diverged_at, desired_edges)
+                if desired_values:
+                    distance = min(abs(event.value - v) for v in desired_values)
+                    return _normalise(float(distance))
+                return 0.5
+        return 0.999
+
+    def _case_values(
+        self,
+        target: PathTarget,
+        block_id: int,
+        desired_edges: dict[int, tuple[int, str]] | None = None,
+    ) -> tuple[int, ...]:
+        """Case-label values of the switch edge the guidance path takes at *block_id*."""
+        cfg = self._board.cfg(self._function)
+        wanted_target: int | None = None
+        if desired_edges and block_id in desired_edges:
+            wanted_target = desired_edges[block_id][0]
+        else:
+            for source, target_block, kind in target.edges:
+                if source == block_id and kind == "case":
+                    wanted_target = target_block
+                    break
+        if wanted_target is None:
+            return ()
+        for edge in cfg.out_edges(block_id):
+            if edge.target == wanted_target and edge.kind.value == "case":
+                return tuple(edge.case_values)
+        return ()
+
+
+def _normalise(distance: float) -> float:
+    """Map a branch distance into [0, 1) (Tracey-style normalisation)."""
+    if distance <= 0.0:
+        return 0.0
+    return distance / (distance + 1.0)

@@ -1,0 +1,271 @@
+"""The hybrid test-data generation driver (heuristics first, model checking last).
+
+Section 3 of the paper:
+
+    "For this reason a hybrid approach has been chosen: first, test data are
+    generated using heuristic methods (i.e. genetic algorithms) until a given
+    coverage bound is reached.  A possible bound could be that no new paths
+    have been reached with the last 10^6 generated data patterns. [...] In a
+    second step the remaining test data are generated using model checking.
+    If no data pattern is found for a selected path the path is deemed
+    infeasible."
+
+:class:`HybridTestDataGenerator` implements exactly that control loop:
+
+1. random sampling until no new segment path is covered for
+   ``plateau_patterns`` consecutive vectors,
+2. one genetic-algorithm search per still-uncovered path target,
+3. one model-checking query per target that the heuristics missed, yielding
+   either a test vector or an infeasibility proof.
+
+The resulting :class:`TestSuite` carries the vectors, the per-target
+provenance (random / genetic / model checking / infeasible) and the statistics
+the paper cites (the share of targets the heuristics covered, expected to be
+above 90 %).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cfg.graph import ControlFlowGraph
+from ..hw.board import EvaluationBoard
+from ..minic.semantic import AnalyzedProgram
+from ..partition.segment import PartitionResult
+from .genetic import GeneticOptions, GeneticTestDataGenerator
+from .inputs import InputSpace
+from .modelcheck_gen import (
+    ModelCheckGeneratorOptions,
+    ModelCheckingTestDataGenerator,
+    TargetStatus,
+)
+from .random_gen import RandomTestDataGenerator
+from .targets import CoverageTracker, PathTarget
+
+
+class CoverageSource(enum.Enum):
+    """How a path target was covered."""
+
+    RANDOM = "random"
+    GENETIC = "genetic"
+    MODEL_CHECKING = "model-checking"
+    INFEASIBLE = "infeasible"
+    UNCOVERED = "uncovered"
+
+
+@dataclass
+class HybridOptions:
+    """Budgets of the hybrid generation process."""
+
+    #: stop the random phase after this many consecutive vectors without a
+    #: newly covered path (the paper suggests 10^6; simulation is slower than
+    #: silicon, so the default is smaller but plays the same role)
+    plateau_patterns: int = 200
+    #: hard cap on random vectors
+    max_random_vectors: int = 2_000
+    genetic: GeneticOptions = field(default_factory=GeneticOptions)
+    model_checking: ModelCheckGeneratorOptions = field(
+        default_factory=ModelCheckGeneratorOptions
+    )
+    #: random seed of the random phase
+    seed: int = 0
+    #: skip the genetic phase entirely (for experiments)
+    use_genetic: bool = True
+    #: skip the model-checking phase entirely (for experiments)
+    use_model_checking: bool = True
+
+
+@dataclass
+class TargetReport:
+    """Provenance of one path target."""
+
+    target: PathTarget
+    source: CoverageSource
+    vector: dict[str, int] | None = None
+
+
+@dataclass
+class TestSuite:
+    """The outcome of hybrid test-data generation."""
+
+    function_name: str
+    vectors: list[dict[str, int]] = field(default_factory=list)
+    reports: list[TargetReport] = field(default_factory=list)
+    random_vectors_used: int = 0
+    genetic_evaluations: int = 0
+    model_checking_queries: int = 0
+
+    # ------------------------------------------------------------------ #
+    def targets_by_source(self, source: CoverageSource) -> list[TargetReport]:
+        return [report for report in self.reports if report.source is source]
+
+    @property
+    def infeasible_targets(self) -> list[TargetReport]:
+        return self.targets_by_source(CoverageSource.INFEASIBLE)
+
+    @property
+    def uncovered_targets(self) -> list[TargetReport]:
+        return self.targets_by_source(CoverageSource.UNCOVERED)
+
+    @property
+    def heuristic_share(self) -> float:
+        """Fraction of feasible, covered targets found without model checking.
+
+        The paper (citing Tracey et al.) expects heuristics to deliver more
+        than 90 % of the required test cases.
+        """
+        heuristic = len(self.targets_by_source(CoverageSource.RANDOM)) + len(
+            self.targets_by_source(CoverageSource.GENETIC)
+        )
+        exact = len(self.targets_by_source(CoverageSource.MODEL_CHECKING))
+        total = heuristic + exact
+        return heuristic / total if total else 1.0
+
+    def is_complete(self) -> bool:
+        """True when every target is covered or proven infeasible."""
+        return not self.uncovered_targets
+
+    def add_vector(self, vector: dict[str, int]) -> None:
+        if vector not in self.vectors:
+            self.vectors.append(dict(vector))
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "targets": len(self.reports),
+            "vectors": len(self.vectors),
+            "random": len(self.targets_by_source(CoverageSource.RANDOM)),
+            "genetic": len(self.targets_by_source(CoverageSource.GENETIC)),
+            "model_checking": len(self.targets_by_source(CoverageSource.MODEL_CHECKING)),
+            "infeasible": len(self.infeasible_targets),
+            "uncovered": len(self.uncovered_targets),
+            "heuristic_share": round(self.heuristic_share, 3),
+        }
+
+
+class HybridTestDataGenerator:
+    """Runs the three-phase test-data generation process."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        function_name: str,
+        board: EvaluationBoard,
+        partition: PartitionResult,
+        cfg: ControlFlowGraph,
+        options: HybridOptions | None = None,
+    ):
+        self._analyzed = analyzed
+        self._function = function_name
+        self._board = board
+        self._partition = partition
+        self._cfg = cfg
+        self._options = options or HybridOptions()
+        self._space = InputSpace.from_program(analyzed, function_name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def input_space(self) -> InputSpace:
+        return self._space
+
+    def generate(self) -> TestSuite:
+        """Run all three phases and return the complete test suite."""
+        coverage = CoverageTracker.create(self._partition, self._cfg)
+        suite = TestSuite(function_name=self._function)
+
+        self._random_phase(coverage, suite)
+        if self._options.use_genetic:
+            self._genetic_phase(coverage, suite)
+        if self._options.use_model_checking:
+            self._model_checking_phase(coverage, suite)
+
+        # final bookkeeping: record provenance of targets covered in phase 1/2
+        reported = {report.target.key for report in suite.reports}
+        for target in coverage.targets:
+            if target.key in reported:
+                continue
+            vector = coverage.covering_vector(target)
+            if vector is not None:
+                suite.reports.append(
+                    TargetReport(target=target, source=CoverageSource.RANDOM, vector=vector)
+                )
+            else:
+                suite.reports.append(
+                    TargetReport(target=target, source=CoverageSource.UNCOVERED)
+                )
+        return suite
+
+    # ------------------------------------------------------------------ #
+    def _random_phase(self, coverage: CoverageTracker, suite: TestSuite) -> None:
+        generator = RandomTestDataGenerator(self._space, seed=self._options.seed)
+        without_progress = 0
+        produced = 0
+        while (
+            produced < self._options.max_random_vectors
+            and without_progress < self._options.plateau_patterns
+            and not coverage.is_complete()
+        ):
+            vector = generator.generate(1)[0]
+            produced += 1
+            run = self._board.run(self._function, vector)
+            newly = coverage.record_run(run)
+            if newly:
+                without_progress = 0
+                suite.add_vector(vector)
+                for target in newly:
+                    suite.reports.append(
+                        TargetReport(
+                            target=target, source=CoverageSource.RANDOM, vector=dict(vector)
+                        )
+                    )
+            else:
+                without_progress += 1
+        suite.random_vectors_used = produced
+
+    def _genetic_phase(self, coverage: CoverageTracker, suite: TestSuite) -> None:
+        generator = GeneticTestDataGenerator(
+            self._board, self._function, self._space, self._options.genetic
+        )
+        seeds = [dict(vector) for vector in suite.vectors]
+        for target in list(coverage.uncovered_targets()):
+            if target.key in {r.target.key for r in suite.reports}:
+                continue
+            if coverage.covering_vector(target) is not None:
+                continue
+            outcome = generator.search(target, coverage=coverage, seed_vectors=seeds)
+            if outcome.covered and outcome.vector is not None:
+                suite.add_vector(outcome.vector)
+                suite.reports.append(
+                    TargetReport(
+                        target=target, source=CoverageSource.GENETIC, vector=outcome.vector
+                    )
+                )
+        suite.genetic_evaluations = generator.statistics.evaluations
+
+    def _model_checking_phase(self, coverage: CoverageTracker, suite: TestSuite) -> None:
+        generator = ModelCheckingTestDataGenerator(
+            self._analyzed, self._function, self._options.model_checking
+        )
+        for target in list(coverage.uncovered_targets()):
+            outcome = generator.generate_for_target(target)
+            if outcome.status is TargetStatus.COVERED and outcome.vector is not None:
+                vector = self._space.clamp(outcome.vector)
+                suite.add_vector(vector)
+                suite.reports.append(
+                    TargetReport(
+                        target=target, source=CoverageSource.MODEL_CHECKING, vector=vector
+                    )
+                )
+                # replay the witness so the coverage tracker (and later the
+                # measurement campaign) sees the newly covered path
+                run = self._board.run(self._function, vector)
+                coverage.record_run(run)
+            elif outcome.status is TargetStatus.INFEASIBLE:
+                suite.reports.append(
+                    TargetReport(target=target, source=CoverageSource.INFEASIBLE)
+                )
+            else:
+                suite.reports.append(
+                    TargetReport(target=target, source=CoverageSource.UNCOVERED)
+                )
+        suite.model_checking_queries = generator.statistics.queries

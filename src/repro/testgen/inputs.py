@@ -1,0 +1,116 @@
+"""Input-space model for test-data generation.
+
+The analysis inputs are the variables annotated with ``#pragma input`` (plus
+the parameters of the analysed function).  Their value ranges come from
+``#pragma range`` annotations when present ("the code generator will have this
+information from the MatLab/Simulink model in most of the cases",
+Section 3.2.4) and fall back to the declared C type's range otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..minic.semantic import AnalyzedProgram
+from ..minic.types import IntRange
+
+
+@dataclass(frozen=True)
+class InputVariable:
+    """One analysis input."""
+
+    name: str
+    value_range: IntRange
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.value_range.lo, self.value_range.hi)
+
+
+@dataclass
+class InputSpace:
+    """The set of input variables and their ranges."""
+
+    variables: list[InputVariable] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_program(cls, analyzed: AnalyzedProgram, function_name: str) -> "InputSpace":
+        table = analyzed.table(function_name)
+        variables: list[InputVariable] = []
+        for name in table.inputs:
+            symbol = table.variables[name]
+            value_range = (
+                symbol.declared_range
+                if symbol.declared_range is not None
+                else symbol.ctype.value_range()
+            )
+            variables.append(InputVariable(name=name, value_range=value_range))
+        return cls(variables=variables)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> list[str]:
+        return [variable.name for variable in self.variables]
+
+    def ranges(self) -> dict[str, IntRange]:
+        return {variable.name: variable.value_range for variable in self.variables}
+
+    def size(self) -> int:
+        """Number of distinct input vectors (saturating at 2**63)."""
+        total = 1
+        for variable in self.variables:
+            total *= variable.value_range.size()
+            if total > 2**63:
+                return 2**63
+        return total
+
+    def random_vector(self, rng: random.Random) -> dict[str, int]:
+        return {variable.name: variable.sample(rng) for variable in self.variables}
+
+    def clamp(self, vector: dict[str, int]) -> dict[str, int]:
+        clamped: dict[str, int] = {}
+        for variable in self.variables:
+            value = vector.get(variable.name, variable.value_range.lo)
+            clamped[variable.name] = variable.value_range.clamp(value)
+        return clamped
+
+    def mutate(
+        self, vector: dict[str, int], rng: random.Random, mutation_rate: float = 0.3
+    ) -> dict[str, int]:
+        """Return a mutated copy of *vector*.
+
+        Three mutation flavours, chosen uniformly per mutated gene: a full
+        random reset (exploration), a proportional jump (coarse search) and a
+        +/- 1..4 nudge (the local search that lets the branch-distance
+        gradient close the final gap to an equality condition).
+        """
+        mutated = dict(vector)
+        for variable in self.variables:
+            if rng.random() >= mutation_rate:
+                continue
+            choice = rng.random()
+            if choice < 1.0 / 3.0:
+                mutated[variable.name] = variable.sample(rng)
+            elif choice < 2.0 / 3.0:
+                span = max(1, variable.value_range.size() // 16)
+                delta = rng.randint(-span, span)
+                mutated[variable.name] = variable.value_range.clamp(
+                    mutated[variable.name] + delta
+                )
+            else:
+                delta = rng.choice([-4, -3, -2, -1, 1, 2, 3, 4])
+                mutated[variable.name] = variable.value_range.clamp(
+                    mutated[variable.name] + delta
+                )
+        return mutated
+
+    def crossover(
+        self, left: dict[str, int], right: dict[str, int], rng: random.Random
+    ) -> dict[str, int]:
+        """Uniform crossover of two vectors."""
+        child: dict[str, int] = {}
+        for variable in self.variables:
+            source = left if rng.random() < 0.5 else right
+            child[variable.name] = source.get(variable.name, variable.value_range.lo)
+        return child

@@ -1,0 +1,145 @@
+"""Coverage targets: the paths of every program segment.
+
+"From the static code analysis performed during the control flow partitioning
+the paths to be measured are known." (Section 3)  A :class:`PathTarget` is one
+such path: the block sequence through one program segment, together with the
+CFG edges that realise it (the model-checking generator needs the edges, the
+coverage bookkeeping needs the blocks).
+
+:class:`CoverageTracker` matches executed runs against the targets using the
+same block-sequence extraction as the measurement subsystem, so "covered"
+always means "a measurement for this segment path exists".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.paths import enumerate_paths
+from ..hw.interpreter import RunResult
+from ..partition.segment import PartitionResult, ProgramSegment
+
+
+@dataclass(frozen=True)
+class PathTarget:
+    """One path of one program segment that needs a measurement."""
+
+    segment_id: int
+    #: block ids inside the segment, in execution order (the coverage key)
+    blocks: tuple[int, ...]
+    #: CFG edges realising the path: (source, target, kind value), including
+    #: the edge that leaves the segment (when one exists)
+    edges: tuple[tuple[int, int, str], ...]
+
+    @property
+    def key(self) -> tuple[int, tuple[int, ...]]:
+        return (self.segment_id, self.blocks)
+
+    def describe(self) -> str:
+        return (
+            f"segment {self.segment_id}: "
+            + " -> ".join(str(b) for b in self.blocks)
+        )
+
+
+def build_targets(
+    partition: PartitionResult, cfg: ControlFlowGraph, path_limit: int = 10_000
+) -> list[PathTarget]:
+    """Enumerate every path of every segment of *partition*."""
+    targets: list[PathTarget] = []
+    for segment in partition.segments:
+        targets.extend(_segment_targets(segment, cfg, path_limit))
+    return targets
+
+
+def _segment_targets(
+    segment: ProgramSegment, cfg: ControlFlowGraph, path_limit: int
+) -> list[PathTarget]:
+    region = set(segment.block_ids)
+    targets: list[PathTarget] = []
+    seen: set[tuple[int, ...]] = set()
+    for path in enumerate_paths(
+        cfg, source=segment.entry_block, region=region, limit=path_limit
+    ):
+        inside = tuple(block for block in path.blocks if block in region)
+        if not inside or inside in seen:
+            continue
+        seen.add(inside)
+        edges = tuple(
+            (edge.source, edge.target, edge.kind.value) for edge in path.edges
+        )
+        targets.append(PathTarget(segment_id=segment.segment_id, blocks=inside, edges=edges))
+    return targets
+
+
+@dataclass
+class CoverageTracker:
+    """Tracks which path targets have been exercised by which test vector."""
+
+    partition: PartitionResult
+    cfg: ControlFlowGraph
+    targets: list[PathTarget] = field(default_factory=list)
+    covered: dict[tuple[int, tuple[int, ...]], dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, partition: PartitionResult, cfg: ControlFlowGraph) -> "CoverageTracker":
+        return cls(partition=partition, cfg=cfg, targets=build_targets(partition, cfg))
+
+    # ------------------------------------------------------------------ #
+    def record_run(self, run: RunResult) -> list[PathTarget]:
+        """Record one executed run; return the targets it covered for the first time."""
+        newly_covered: list[PathTarget] = []
+        executed = run.executed_blocks
+        for segment in self.partition.segments:
+            observed = self._segment_path(segment, executed)
+            if not observed:
+                continue
+            key = (segment.segment_id, observed)
+            if key in self.covered:
+                continue
+            target = self._target_for(key)
+            if target is None:
+                continue
+            self.covered[key] = dict(run.inputs)
+            newly_covered.append(target)
+        return newly_covered
+
+    def _segment_path(
+        self, segment: ProgramSegment, executed: list[int]
+    ) -> tuple[int, ...]:
+        """The first traversal of *segment* in the executed block sequence."""
+        inside: list[int] = []
+        started = False
+        for block_id in executed:
+            if not started:
+                if block_id == segment.entry_block:
+                    started = True
+                    inside.append(block_id)
+                continue
+            if block_id in segment.block_ids:
+                inside.append(block_id)
+            else:
+                break
+        return tuple(inside)
+
+    def _target_for(self, key: tuple[int, tuple[int, ...]]) -> PathTarget | None:
+        for target in self.targets:
+            if target.key == key:
+                return target
+        return None
+
+    # ------------------------------------------------------------------ #
+    def uncovered_targets(self) -> list[PathTarget]:
+        return [target for target in self.targets if target.key not in self.covered]
+
+    def coverage_ratio(self) -> float:
+        if not self.targets:
+            return 1.0
+        return len([t for t in self.targets if t.key in self.covered]) / len(self.targets)
+
+    def is_complete(self) -> bool:
+        return not self.uncovered_targets()
+
+    def covering_vector(self, target: PathTarget) -> dict[str, int] | None:
+        return self.covered.get(target.key)

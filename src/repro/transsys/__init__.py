@@ -1,0 +1,27 @@
+"""Transition-system IR and the C-to-transition-system ("C to SAL") translator."""
+
+from __future__ import annotations
+
+from .system import StateVariable, Transition, TransitionSystem
+from .translate import (
+    CToTransitionSystem,
+    TranslationError,
+    TranslationOptions,
+    TranslationResult,
+    block_label,
+    edge_label,
+    translate_function,
+)
+
+__all__ = [
+    "StateVariable",
+    "Transition",
+    "TransitionSystem",
+    "CToTransitionSystem",
+    "TranslationError",
+    "TranslationOptions",
+    "TranslationResult",
+    "block_label",
+    "edge_label",
+    "translate_function",
+]

@@ -1,0 +1,21 @@
+"""Workloads: the paper's example programs and synthetic program generators."""
+
+from __future__ import annotations
+
+from .figure1 import (
+    EXPECTED_BASIC_BLOCKS,
+    EXPECTED_TOTAL_PATHS,
+    FIGURE1_SOURCE,
+    TABLE1_EXPECTED,
+    figure1_analyzed,
+    figure1_program,
+)
+
+__all__ = [
+    "EXPECTED_BASIC_BLOCKS",
+    "EXPECTED_TOTAL_PATHS",
+    "FIGURE1_SOURCE",
+    "TABLE1_EXPECTED",
+    "figure1_analyzed",
+    "figure1_program",
+]

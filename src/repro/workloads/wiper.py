@@ -1,0 +1,130 @@
+"""The wiper-control case study (the paper's Section 4).
+
+    "Our case study is an automotive wiper control application.  The
+    controller inputs are a two-step speed selector (off, slow and fast) for
+    the wipers, a button to switch on the water pump and an end position
+    switch to indicate the neutral position of the wipers. [...] The
+    Stateflow chart has 9 states, the complete MatLab/Simulink model contains
+    around 70 blocks. [...] The whole functionality is encapsulated in a
+    single function wiper_control."
+
+:func:`wiper_chart` builds the 9-state chart, :func:`wiper_case_study`
+generates the TargetLink-style ``wiper_control`` function from it.  The
+analysis inputs are the three controller inputs plus the chart state (the
+paper forces test data "on the input parameters and the state of the
+application"), giving the small input space (3 x 2 x 2 x 9 = 108 vectors)
+that makes exhaustive end-to-end measurement possible -- which is exactly what
+the paper compares its partitioned WCET bound against (250 vs 274 cycles).
+"""
+
+from __future__ import annotations
+
+from ..codegen.chart import ChartVariable, StateflowChart
+from ..codegen.generator import GeneratedCode, generate_chart_code
+from ..minic.types import BOOL, IntRange, UINT8
+
+#: name of the generated single function (as in the paper)
+WIPER_FUNCTION_NAME = "wiper_control"
+
+#: paper's case-study results, for reference in EXPERIMENTS.md and the bench
+PAPER_EXHAUSTIVE_WCET_CYCLES = 250
+PAPER_PARTITIONED_BOUND_CYCLES = 274
+
+#: the nine state names of the chart
+WIPER_STATES = (
+    "Off",
+    "SlowWipe",
+    "FastWipe",
+    "Parking",
+    "WashPump",
+    "WashWipe",
+    "PostWashWipeFirst",
+    "PostWashWipeSecond",
+    "ReturnToRequest",
+)
+
+
+def wiper_chart() -> StateflowChart:
+    """Build the 9-state wiper-control Stateflow chart."""
+    chart = StateflowChart(name="wiper", state_variable="wiper_state")
+    chart.inputs = [
+        ChartVariable("speed_selector", UINT8, IntRange(0, 2)),
+        ChartVariable("pump_button", BOOL, IntRange(0, 1)),
+        ChartVariable("end_position", BOOL, IntRange(0, 1)),
+    ]
+    chart.outputs = [
+        ChartVariable("motor_speed", UINT8, IntRange(0, 2)),
+        ChartVariable("pump_on", BOOL, IntRange(0, 1)),
+    ]
+    chart.locals = [
+        ChartVariable("wipe_counter", UINT8, IntRange(0, 3)),
+    ]
+
+    chart.add_state("Off", entry_actions=["motor_speed = 0", "pump_on = 0"])
+    chart.add_state("SlowWipe", entry_actions=["motor_speed = 1", "pump_on = 0"])
+    chart.add_state("FastWipe", entry_actions=["motor_speed = 2", "pump_on = 0"])
+    chart.add_state("Parking", entry_actions=["motor_speed = 1", "pump_on = 0"])
+    chart.add_state("WashPump", entry_actions=["motor_speed = 0", "pump_on = 1"])
+    chart.add_state("WashWipe", entry_actions=["motor_speed = 1", "pump_on = 1"])
+    chart.add_state(
+        "PostWashWipeFirst",
+        entry_actions=["motor_speed = 1", "pump_on = 0", "wipe_counter = 1"],
+    )
+    chart.add_state(
+        "PostWashWipeSecond",
+        entry_actions=["motor_speed = 1", "wipe_counter = 2"],
+    )
+    chart.add_state("ReturnToRequest", entry_actions=["wipe_counter = 0"])
+    chart.initial_state = "Off"
+
+    # Off: washing has priority, then the speed selector
+    chart.add_transition("Off", "WashPump", "pump_button == 1")
+    chart.add_transition("Off", "SlowWipe", "speed_selector == 1")
+    chart.add_transition("Off", "FastWipe", "speed_selector == 2")
+
+    # SlowWipe
+    chart.add_transition("SlowWipe", "WashWipe", "pump_button == 1")
+    chart.add_transition("SlowWipe", "FastWipe", "speed_selector == 2")
+    chart.add_transition("SlowWipe", "Parking", "speed_selector == 0")
+
+    # FastWipe
+    chart.add_transition("FastWipe", "WashWipe", "pump_button == 1")
+    chart.add_transition("FastWipe", "SlowWipe", "speed_selector == 1")
+    chart.add_transition("FastWipe", "Parking", "speed_selector == 0")
+
+    # Parking: run at slow speed until the end-position switch closes
+    chart.add_transition("Parking", "Off", "end_position == 1")
+    chart.add_transition("Parking", "SlowWipe", "speed_selector == 1")
+    chart.add_transition("Parking", "FastWipe", "speed_selector == 2")
+
+    # Washing
+    chart.add_transition("WashPump", "WashWipe", "pump_button == 1 && end_position == 0")
+    chart.add_transition("WashPump", "PostWashWipeFirst", "pump_button == 0")
+    chart.add_transition("WashWipe", "PostWashWipeFirst", "pump_button == 0")
+
+    # post-wash wipe cycles
+    chart.add_transition("PostWashWipeFirst", "WashWipe", "pump_button == 1")
+    chart.add_transition("PostWashWipeFirst", "PostWashWipeSecond", "end_position == 1")
+    chart.add_transition("PostWashWipeSecond", "WashWipe", "pump_button == 1")
+    chart.add_transition("PostWashWipeSecond", "ReturnToRequest", "end_position == 1")
+
+    # hand control back according to the selector
+    chart.add_transition("ReturnToRequest", "SlowWipe", "speed_selector == 1")
+    chart.add_transition("ReturnToRequest", "FastWipe", "speed_selector == 2")
+    chart.add_transition("ReturnToRequest", "Parking", "speed_selector == 0")
+
+    chart.validate()
+    return chart
+
+
+def wiper_case_study() -> GeneratedCode:
+    """Generate and analyse the ``wiper_control`` function of the case study."""
+    return generate_chart_code(wiper_chart(), WIPER_FUNCTION_NAME)
+
+
+def wiper_input_ranges() -> dict[str, IntRange]:
+    """The exhaustive-measurement input space (controller inputs + chart state)."""
+    chart = wiper_chart()
+    ranges = {variable.name: variable.effective_range() for variable in chart.inputs}
+    ranges[chart.state_variable] = chart.state_range()
+    return ranges

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.minic import parse_and_analyze
+from repro.workloads.figure1 import figure1_analyzed
+from repro.workloads.optimisation_eval import (
+    EVAL_FUNCTION_NAME,
+    optimisation_eval_program,
+)
+from repro.workloads.wiper import WIPER_FUNCTION_NAME, wiper_case_study
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The analysed Figure 1 example program."""
+    return figure1_analyzed()
+
+
+@pytest.fixture(scope="session")
+def figure1_cfg(figure1):
+    return build_cfg(figure1.program.function("main"))
+
+
+@pytest.fixture(scope="session")
+def eval_program():
+    """The analysed Table 2 optimisation-evaluation program."""
+    return optimisation_eval_program()
+
+
+@pytest.fixture(scope="session")
+def eval_function_name():
+    return EVAL_FUNCTION_NAME
+
+
+@pytest.fixture(scope="session")
+def wiper_code():
+    """The generated wiper-control case study."""
+    return wiper_case_study()
+
+
+@pytest.fixture(scope="session")
+def wiper_function_name():
+    return WIPER_FUNCTION_NAME
+
+
+@pytest.fixture(scope="session")
+def small_loop_program():
+    """A small program with a bounded loop, shared by several test modules."""
+    source = """
+    #pragma input n
+    #pragma range n 0 10
+    int n;
+    int total;
+
+    void accumulate(void) {
+        int i;
+        total = 0;
+        i = 0;
+        #pragma loopbound(10)
+        while (i < n) {
+            total = total + i;
+            i = i + 1;
+        }
+        if (total > 20) {
+            total = 20;
+        }
+    }
+    """
+    return parse_and_analyze(source)
+
+
+@pytest.fixture(scope="session")
+def branching_program():
+    """A compact program with if/else and switch used across analysis tests."""
+    source = """
+    #pragma input mode
+    #pragma input level
+    #pragma range mode 0 3
+    #pragma range level 0 100
+    int mode;
+    int level;
+    int output;
+    int unused_global;
+
+    void classify(void) {
+        int severity;
+        int scratch;
+        severity = 0;
+        scratch = level + 1;
+        switch (mode) {
+        case 0:
+            if (level > 50) {
+                severity = 2;
+            } else {
+                severity = 1;
+            }
+            break;
+        case 1:
+        case 2:
+            severity = 3;
+            break;
+        default:
+            severity = 4;
+            break;
+        }
+        if (severity >= 3) {
+            output = scratch;
+        } else {
+            output = 0;
+        }
+    }
+    """
+    return parse_and_analyze(source)

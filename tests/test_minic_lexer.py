@@ -1,0 +1,142 @@
+"""Unit tests of the mini-C lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minic.errors import LexerError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_source(self):
+        tokens = tokenize("   \n\t  \r\n ")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_identifier(self):
+        tokens = tokenize("wiper_state")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "wiper_state"
+
+    def test_keyword_recognised(self):
+        tokens = tokenize("if else while switch")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifier_with_digits_and_underscore(self):
+        assert values("_tmp42") == ["_tmp42"]
+
+    def test_decimal_number(self):
+        tokens = tokenize("12345")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == 12345
+
+    def test_hex_number(self):
+        assert values("0x1F") == [31]
+
+    def test_octal_number(self):
+        assert values("017") == [15]
+
+    def test_number_with_suffixes(self):
+        assert values("42u 42L 42UL") == [42, 42, 42]
+
+    def test_char_literal(self):
+        assert values("'A'") == [65]
+
+    def test_char_escape(self):
+        assert values("'\\n'") == [10]
+
+    def test_punctuators_maximal_munch(self):
+        assert values("a<<=b") == ["a", "<<=", "b"]
+
+    def test_relational_operators(self):
+        assert values("<= >= == != < >") == ["<=", ">=", "==", "!=", "<", ">"]
+
+    def test_increment_and_arrow(self):
+        assert values("++ -- ->") == ["++", "--", "->"]
+
+
+class TestCommentsAndDirectives:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_include_directive_ignored(self):
+        assert values('#include <stdio.h>\nx') == ["x"]
+
+    def test_define_directive_ignored(self):
+        assert values("#define LIMIT 10\ny") == ["y"]
+
+    def test_pragma_becomes_token(self):
+        tokens = tokenize("#pragma loopbound(8)\nwhile")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].value == "loopbound(8)"
+        assert tokens[1].is_keyword("while")
+
+    def test_pragma_input(self):
+        tokens = tokenize("#pragma input sensor")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert "input" in str(tokens[0].value)
+
+
+class TestErrorsAndLocations:
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_identifier_after_number_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("12abc")
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'a")
+
+    def test_locations_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_filename(self):
+        tokens = tokenize("x", filename="unit.c")
+        assert tokens[0].location.filename == "unit.c"
+
+
+class TestRealisticSnippets:
+    def test_generated_switch_snippet(self):
+        source = "switch (state) { case 0: out = 1; break; default: break; }"
+        token_values = values(source)
+        assert "switch" in token_values
+        assert "case" in token_values
+        assert token_values.count("break") == 2
+
+    def test_expression_snippet(self):
+        token_values = values("x = (a + b) * 2 >= limit && !flag;")
+        assert "&&" in token_values
+        assert ">=" in token_values
+        assert "!" in token_values

@@ -1,0 +1,202 @@
+"""Unit tests for the type system, the pretty printer and constant folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minic import parse_and_analyze, parse_program, print_program
+from repro.minic.ast_nodes import BinaryOp, BoolLiteral, Identifier, IntLiteral, UnaryOp
+from repro.minic.folding import (
+    apply_binary,
+    apply_unary,
+    assigned_variables,
+    expression_variables,
+    expression_size,
+    fold_expr,
+    has_calls,
+)
+from repro.minic.parser import parse_expression
+from repro.minic.pretty import print_expression, print_statement
+from repro.minic.types import (
+    BOOL,
+    INT8,
+    INT16,
+    UINT8,
+    UINT16,
+    CType,
+    IntRange,
+    common_type,
+    lookup_type,
+)
+
+
+class TestTypes:
+    def test_signed_ranges(self):
+        assert INT8.min_value == -128 and INT8.max_value == 127
+        assert INT16.min_value == -32768 and INT16.max_value == 32767
+
+    def test_unsigned_ranges(self):
+        assert UINT8.min_value == 0 and UINT8.max_value == 255
+        assert UINT16.max_value == 65535
+
+    def test_bool_range(self):
+        assert BOOL.min_value == 0 and BOOL.max_value == 1
+
+    def test_wrap_signed_overflow(self):
+        assert INT8.wrap(130) == -126
+        assert INT8.wrap(-129) == 127
+
+    def test_wrap_unsigned_overflow(self):
+        assert UINT8.wrap(260) == 4
+        assert UINT8.wrap(-1) == 255
+
+    def test_wrap_bool_normalises(self):
+        assert BOOL.wrap(17) == 1
+        assert BOOL.wrap(0) == 0
+
+    def test_int_range_bits(self):
+        assert IntRange(0, 1).bits() == 1
+        assert IntRange(0, 255).bits() == 8
+        assert IntRange(-128, 127).bits() == 8
+        assert IntRange(0, 8).bits() == 4
+
+    def test_int_range_operations(self):
+        r = IntRange(0, 10)
+        assert 5 in r and 11 not in r
+        assert r.clamp(99) == 10 and r.clamp(-3) == 0
+        assert r.intersect(IntRange(5, 20)) == IntRange(5, 10)
+        assert r.intersect(IntRange(20, 30)) is None
+        assert r.union(IntRange(-5, 2)) == IntRange(-5, 10)
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            IntRange(3, 1)
+
+    def test_lookup_type_spellings(self):
+        assert lookup_type("unsigned char") is UINT8
+        assert lookup_type("Int16") is INT16
+        assert lookup_type("no_such_type") is None
+
+    def test_common_type_promotes_to_at_least_16_bits(self):
+        assert common_type(INT8, INT8).bits == 16
+        assert common_type(UINT16, INT16) is UINT16
+
+    def test_void_has_no_values(self):
+        void = lookup_type("void")
+        with pytest.raises(TypeError):
+            _ = void.min_value
+        with pytest.raises(TypeError):
+            void.wrap(1)
+
+    def test_custom_type_construction(self):
+        nibble = CType("Nibble", 4, signed=False)
+        assert nibble.max_value == 15
+        assert nibble.wrap(17) == 1
+
+
+class TestPrettyPrinterRoundTrip:
+    SOURCES = [
+        "void f(void) { int x; x = 1 + 2 * 3; }",
+        "int g(int a) { if (a > 0) { return a; } else { return 0 - a; } }",
+        "void h(void) { int i; i = 0; #pragma loopbound(3)\nwhile (i < 3) { i = i + 1; } }",
+        "int s; void k(void) { switch (s) { case 1: s = 2; break; default: s = 0; break; } }",
+        "void m(void) { int i; for (i = 0; i < 5; i = i + 1) { helper(i); } }",
+        "#pragma input u\n#pragma range u 0 7\nint u; void n(void) { if (u == 3) { act(); } }",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_round_trip_preserves_structure(self, source):
+        """parse -> print -> parse yields a program that prints identically."""
+        first = parse_program(source)
+        printed = print_program(first)
+        second = parse_program(printed)
+        assert print_program(second) == printed
+
+    def test_round_trip_preserves_semantics(self, figure1):
+        printed = print_program(figure1.program)
+        reparsed = parse_and_analyze(printed)
+        assert [f.name for f in reparsed.program.functions] == ["main"]
+        assert reparsed.program.input_variables == ["i"]
+
+    def test_statement_printing(self):
+        stmt = parse_program("void f(void) { if (1) { x(); } }").functions[0].body.statements[0]
+        text = print_statement(stmt)
+        assert text.startswith("if (1)")
+
+    def test_expression_printing_parenthesises(self):
+        assert print_expression(parse_expression("a + b * c")) == "(a + (b * c))"
+
+
+class TestConstantFolding:
+    def test_fold_arithmetic(self):
+        expr = fold_expr(parse_expression("2 + 3 * 4"))
+        assert isinstance(expr, IntLiteral) and expr.value == 14
+
+    def test_fold_relational_to_bool(self):
+        expr = fold_expr(parse_expression("3 < 5"))
+        assert isinstance(expr, (IntLiteral, BoolLiteral))
+
+    def test_fold_preserves_variables(self):
+        expr = fold_expr(parse_expression("x + 0"))
+        assert isinstance(expr, Identifier)
+
+    def test_fold_multiplication_by_one(self):
+        expr = fold_expr(parse_expression("1 * y"))
+        assert isinstance(expr, Identifier) and expr.name == "y"
+
+    def test_fold_short_circuit_and_false(self):
+        expr = fold_expr(parse_expression("0 && x"))
+        assert isinstance(expr, (IntLiteral, BoolLiteral))
+
+    def test_fold_ternary(self):
+        expr = fold_expr(parse_expression("1 ? a : b"))
+        assert isinstance(expr, Identifier) and expr.name == "a"
+
+    def test_fold_division_by_zero_kept_symbolic(self):
+        expr = fold_expr(parse_expression("5 / 0"))
+        assert isinstance(expr, BinaryOp)
+
+    def test_fold_does_not_mutate_original(self):
+        original = parse_expression("1 + 2")
+        fold_expr(original)
+        assert isinstance(original, BinaryOp)
+
+    def test_apply_binary_c_division_truncates_toward_zero(self):
+        assert apply_binary("/", -7, 2) == -3
+        assert apply_binary("%", -7, 2) == -1
+
+    def test_apply_binary_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            apply_binary("/", 1, 0)
+
+    def test_apply_unary(self):
+        assert apply_unary("!", 0) == 1
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("~", 0) == -1
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            apply_binary("**", 2, 3)
+
+
+class TestExpressionQueries:
+    def test_expression_variables_excludes_assignment_target(self):
+        expr = parse_expression("x = y + z")
+        assert expression_variables(expr) == {"y", "z"}
+
+    def test_assigned_variables(self):
+        expr = parse_expression("x = y = 1")
+        assert assigned_variables(expr) == {"x", "y"}
+
+    def test_has_calls(self):
+        assert has_calls(parse_expression("f(x) + 1"))
+        assert not has_calls(parse_expression("x + 1"))
+
+    def test_expression_size(self):
+        assert expression_size(parse_expression("a")) == 1
+        assert expression_size(parse_expression("a + b")) == 3
+
+    def test_unary_not_detected(self):
+        expr = parse_expression("!done")
+        assert isinstance(expr, UnaryOp)
+        assert expression_variables(expr) == {"done"}

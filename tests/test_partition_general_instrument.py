@@ -1,0 +1,132 @@
+"""Tests of the generalised partitioner and instrumentation-point placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.partition import (
+    GeneralPartitionOptions,
+    GeneralPartitioner,
+    PointKind,
+    SegmentKind,
+    annotate_source,
+    build_instrumentation_plan,
+    partition_function,
+    partition_function_general,
+    segment_summary,
+)
+from repro.workloads.figure1 import FIGURE1_SOURCE
+
+
+class TestGeneralPartitioner:
+    def test_straight_line_chains_are_fused(self, figure1, figure1_cfg):
+        result = partition_function_general(
+            figure1.program.function("main"), 1, figure1_cfg
+        )
+        result.validate(figure1_cfg)
+        chains = [s for s in result.segments if s.kind is SegmentKind.STRAIGHT_LINE]
+        assert chains, "expected at least one fused straight-line chain"
+
+    def test_general_never_needs_more_points_than_paper(self, figure1, figure1_cfg):
+        for bound in (1, 2, 3, 4, 6):
+            paper = partition_function(figure1.program.function("main"), bound, figure1_cfg)
+            general = partition_function_general(
+                figure1.program.function("main"), bound, figure1_cfg
+            )
+            assert general.instrumentation_points <= paper.instrumentation_points
+
+    def test_general_measurements_cover_all_paths(self, figure1, figure1_cfg):
+        general = partition_function_general(
+            figure1.program.function("main"), 2, figure1_cfg
+        )
+        assert general.measurements >= len(general.segments)
+
+    def test_whole_function_collapse(self, figure1, figure1_cfg):
+        general = partition_function_general(
+            figure1.program.function("main"), 6, figure1_cfg
+        )
+        assert len(general.segments) == 1
+
+    def test_disable_straight_line_fusion(self, figure1, figure1_cfg):
+        options = GeneralPartitionOptions(fuse_straight_line=False, collapse_whole_branches=False)
+        result = GeneralPartitioner(1, options).partition(
+            figure1.program.function("main"), figure1_cfg
+        )
+        assert all(s.is_single_block for s in result.segments)
+
+    def test_collapse_whole_branches_reduces_points(self, branching_program):
+        function = branching_program.program.function("classify")
+        cfg = build_cfg(function)
+        with_collapse = GeneralPartitioner(
+            3, GeneralPartitionOptions(collapse_whole_branches=True)
+        ).partition(function, cfg)
+        without_collapse = GeneralPartitioner(
+            3, GeneralPartitionOptions(collapse_whole_branches=False)
+        ).partition(function, cfg)
+        assert (
+            with_collapse.instrumentation_points
+            <= without_collapse.instrumentation_points
+        )
+
+    def test_validates_on_wiper(self, wiper_code, wiper_function_name):
+        function = wiper_code.program.function(wiper_function_name)
+        cfg = build_cfg(function)
+        for bound in (1, 2, 4, 8, 40):
+            result = partition_function_general(function, bound, cfg)
+            result.validate(cfg)
+
+
+class TestInstrumentationPlan:
+    def test_point_count_matches_paper_accounting(self, figure1, figure1_cfg):
+        for bound in (1, 2, 6):
+            result = partition_function(figure1.program.function("main"), bound, figure1_cfg)
+            plan = build_instrumentation_plan(result, figure1_cfg)
+            assert plan.point_count == result.instrumentation_points
+
+    def test_every_segment_has_entry_and_exit_point(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        plan = build_instrumentation_plan(result, figure1_cfg)
+        for segment in result.segments:
+            points = plan.points_for_segment(segment.segment_id)
+            kinds = {p.kind for p in points}
+            assert kinds == {PointKind.ENTRY, PointKind.EXIT}
+
+    def test_entry_point_triggers_on_entry_block(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        plan = build_instrumentation_plan(result, figure1_cfg)
+        for segment in result.segments:
+            entry = plan.entry_point(segment.segment_id)
+            assert entry.trigger_block == segment.entry_block
+            assert entry in plan.triggers[segment.entry_block]
+
+    def test_exit_to_function_end_registered(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 6, figure1_cfg)
+        plan = build_instrumentation_plan(result, figure1_cfg)
+        assert plan.end_of_function_points, "whole-function segment must exit at the end"
+
+    def test_unknown_segment_entry_raises(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        plan = build_instrumentation_plan(result, figure1_cfg)
+        with pytest.raises(KeyError):
+            plan.entry_point(1234)
+
+
+class TestReporting:
+    def test_annotate_source_mentions_every_segment(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        annotated = annotate_source(result, figure1_cfg, FIGURE1_SOURCE)
+        for segment in result.segments:
+            assert f"segment {segment.segment_id}:" in annotated
+
+    def test_annotate_source_preserves_code_lines(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        annotated = annotate_source(result, figure1_cfg, FIGURE1_SOURCE)
+        for line in FIGURE1_SOURCE.splitlines():
+            assert line in annotated
+
+    def test_segment_summary_rows(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        rows = segment_summary(result)
+        assert len(rows) == len(result.segments)
+        assert all({"segment", "kind", "blocks", "paths"} <= set(row) for row in rows)

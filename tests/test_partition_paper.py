@@ -1,0 +1,158 @@
+"""Unit tests of the paper's partitioning algorithm (Section 2.2 / Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import build_cfg, count_ast_paths
+from repro.minic import parse_and_analyze
+from repro.partition import (
+    PaperPartitioner,
+    PartitionError,
+    SegmentKind,
+    measurement_effort_table,
+    partition_function,
+)
+from repro.workloads.figure1 import TABLE1_EXPECTED
+
+
+class TestTable1Reproduction:
+    """The headline result of Section 2: Table 1 must be reproduced exactly."""
+
+    @pytest.mark.parametrize("bound,expected", sorted(TABLE1_EXPECTED.items()))
+    def test_instrumentation_points_and_measurements(self, figure1, figure1_cfg, bound, expected):
+        result = partition_function(
+            figure1.program.function("main"), bound, figure1_cfg
+        )
+        assert (result.instrumentation_points, result.measurements) == expected
+
+    def test_effort_table_helper(self, figure1, figure1_cfg):
+        rows = measurement_effort_table(
+            figure1.program.function("main"), list(TABLE1_EXPECTED), figure1_cfg
+        )
+        for row in rows:
+            expected = TABLE1_EXPECTED[row["bound"]]
+            assert (row["instrumentation_points"], row["measurements"]) == expected
+
+    def test_bound_one_measures_every_basic_block(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 1, figure1_cfg)
+        assert all(segment.is_single_block for segment in result.segments)
+        assert len(result.segments) == 11
+
+    def test_bound_six_measures_whole_function(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 6, figure1_cfg)
+        assert len(result.segments) == 1
+        assert result.segments[0].kind is SegmentKind.WHOLE_FUNCTION
+        assert result.segments[0].path_count == 6
+
+    def test_bound_two_collapses_the_inner_if_region(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        regions = [s for s in result.segments if s.kind is SegmentKind.REGION]
+        assert len(regions) == 1
+        # the paper: four basic blocks need not be instrumented
+        assert len(regions[0].block_ids) == 4
+        assert regions[0].path_count == 2
+
+
+class TestPartitionInvariants:
+    BOUNDS = [1, 2, 3, 4, 6, 10]
+
+    @pytest.mark.parametrize("bound", BOUNDS)
+    def test_every_block_in_exactly_one_segment(self, figure1, figure1_cfg, bound):
+        result = partition_function(figure1.program.function("main"), bound, figure1_cfg)
+        result.validate(figure1_cfg)
+
+    @pytest.mark.parametrize("bound", BOUNDS)
+    def test_segments_are_single_entry(self, figure1, figure1_cfg, bound):
+        result = partition_function(figure1.program.function("main"), bound, figure1_cfg)
+        for segment in result.segments:
+            segment.validate(figure1_cfg)
+
+    def test_ip_is_twice_the_segment_count(self, figure1, figure1_cfg):
+        for bound in self.BOUNDS:
+            result = partition_function(figure1.program.function("main"), bound, figure1_cfg)
+            assert result.instrumentation_points == 2 * len(result.segments)
+
+    def test_measurements_never_below_segment_count(self, branching_program):
+        function = branching_program.program.function("classify")
+        cfg = build_cfg(function)
+        for bound in self.BOUNDS:
+            result = partition_function(function, bound, cfg)
+            assert result.measurements >= len(result.segments)
+
+    def test_ip_monotonically_non_increasing_in_bound(self, branching_program):
+        function = branching_program.program.function("classify")
+        cfg = build_cfg(function)
+        previous = None
+        for bound in range(1, 30):
+            result = partition_function(function, bound, cfg)
+            if previous is not None:
+                assert result.instrumentation_points <= previous
+            previous = result.instrumentation_points
+
+    def test_whole_function_reached_when_bound_exceeds_paths(self, branching_program):
+        function = branching_program.program.function("classify")
+        cfg = build_cfg(function)
+        total = count_ast_paths(function)
+        result = partition_function(function, total, cfg)
+        assert len(result.segments) == 1
+        assert result.measurements == total
+
+    def test_wiper_case_blocks_become_segments(self, wiper_code, wiper_function_name):
+        """The paper partitioned the case study so each case block is one PS."""
+        function = wiper_code.program.function(wiper_function_name)
+        cfg = build_cfg(function)
+        result = partition_function(function, 4, cfg)
+        regions = [s for s in result.segments if s.kind is SegmentKind.REGION]
+        # every state's case body contains branching and fits within b=4
+        assert len(regions) >= 9
+
+    def test_invalid_bound_raises(self, figure1):
+        with pytest.raises(PartitionError):
+            PaperPartitioner(0)
+
+    def test_mismatched_cfg_raises(self, figure1, branching_program):
+        cfg = build_cfg(branching_program.program.function("classify"))
+        with pytest.raises(PartitionError):
+            PaperPartitioner(2).partition(figure1.program.function("main"), cfg)
+
+
+class TestPartitionOnLoops:
+    def test_loop_body_becomes_region(self, small_loop_program):
+        function = small_loop_program.program.function("accumulate")
+        cfg = build_cfg(function)
+        result = partition_function(function, 2, cfg)
+        result.validate(cfg)
+
+    def test_loop_function_whole_when_bound_large(self, small_loop_program):
+        function = small_loop_program.program.function("accumulate")
+        cfg = build_cfg(function)
+        total = count_ast_paths(function)
+        result = partition_function(function, total, cfg)
+        assert len(result.segments) == 1
+
+
+class TestSummaries:
+    def test_summary_row_fields(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        row = result.summary_row()
+        assert row["bound"] == 2
+        assert row["segments"] == len(result.segments)
+
+    def test_segment_lookup(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        first = result.segments[0]
+        assert result.segment(first.segment_id) is first
+        with pytest.raises(KeyError):
+            result.segment(999)
+
+    def test_segment_of_block(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        for block in figure1_cfg.real_blocks():
+            segment = result.segment_of_block(block.block_id)
+            assert segment is not None and block.block_id in segment.block_ids
+        assert result.segment_of_block(figure1_cfg.entry.block_id) is None
+
+    def test_fused_instrumentation_points(self, figure1, figure1_cfg):
+        result = partition_function(figure1.program.function("main"), 1, figure1_cfg)
+        assert result.fused_instrumentation_points == result.instrumentation_points // 2 + 1

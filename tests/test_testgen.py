@@ -1,0 +1,302 @@
+"""Tests of test-data generation: inputs, targets, random, GA, model checking, hybrid."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.hw import EvaluationBoard
+from repro.minic import parse_and_analyze
+from repro.partition import partition_function
+from repro.testgen import (
+    CoverageSource,
+    CoverageTracker,
+    GeneticOptions,
+    GeneticTestDataGenerator,
+    HybridOptions,
+    HybridTestDataGenerator,
+    InputSpace,
+    ModelCheckingTestDataGenerator,
+    RandomTestDataGenerator,
+    TargetStatus,
+    build_targets,
+)
+
+
+NEEDLE_SOURCE = """
+#pragma input key
+#pragma input level
+#pragma range key 0 2000
+#pragma range level 0 100
+int key; int level; int out;
+void f(void) {
+    out = 0;
+    if (key == 1234) {
+        if (level > 90) {
+            out = 2;
+        } else {
+            out = 1;
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def needle():
+    analyzed = parse_and_analyze(NEEDLE_SOURCE)
+    cfg = build_cfg(analyzed.program.function("f"))
+    partition = partition_function(analyzed.program.function("f"), 1, cfg)
+    board = EvaluationBoard(analyzed)
+    space = InputSpace.from_program(analyzed, "f")
+    return analyzed, cfg, partition, board, space
+
+
+def deep_needle_block(cfg) -> int:
+    """The block assigning ``out = 2`` (requires key == 1234 and level > 90)."""
+    from repro.minic.pretty import print_statement
+
+    for block in cfg.real_blocks():
+        for stmt in block.statements:
+            if print_statement(stmt).strip() == "out = 2;":
+                return block.block_id
+    raise AssertionError("needle block not found")
+
+
+class TestInputSpace:
+    def test_from_program_reads_pragmas(self, needle):
+        _, _, _, _, space = needle
+        assert set(space.names) == {"key", "level"}
+        assert space.ranges()["key"].hi == 2000
+        assert space.size() == 2001 * 101
+
+    def test_random_vector_within_ranges(self, needle):
+        _, _, _, _, space = needle
+        rng = random.Random(0)
+        for _ in range(50):
+            vector = space.random_vector(rng)
+            assert 0 <= vector["key"] <= 2000
+            assert 0 <= vector["level"] <= 100
+
+    def test_clamp(self, needle):
+        _, _, _, _, space = needle
+        assert space.clamp({"key": 99999, "level": -5}) == {"key": 2000, "level": 0}
+
+    def test_mutate_stays_in_range(self, needle):
+        _, _, _, _, space = needle
+        rng = random.Random(1)
+        vector = {"key": 1000, "level": 50}
+        for _ in range(50):
+            vector = space.mutate(vector, rng, mutation_rate=1.0)
+            assert 0 <= vector["key"] <= 2000 and 0 <= vector["level"] <= 100
+
+    def test_crossover_mixes_parents(self, needle):
+        _, _, _, _, space = needle
+        rng = random.Random(2)
+        child = space.crossover({"key": 1, "level": 2}, {"key": 3, "level": 4}, rng)
+        assert child["key"] in (1, 3) and child["level"] in (2, 4)
+
+    def test_function_parameters_are_inputs(self):
+        analyzed = parse_and_analyze("void f(UInt8 p) { if (p) { act(); } }")
+        space = InputSpace.from_program(analyzed, "f")
+        assert space.names == ["p"] and space.ranges()["p"].hi == 255
+
+
+class TestTargetsAndCoverage:
+    def test_targets_cover_every_segment_path(self, needle):
+        _, cfg, partition, _, _ = needle
+        targets = build_targets(partition, cfg)
+        per_segment: dict[int, int] = {}
+        for target in targets:
+            per_segment[target.segment_id] = per_segment.get(target.segment_id, 0) + 1
+        for segment in partition.segments:
+            assert per_segment[segment.segment_id] == segment.path_count
+
+    def test_coverage_tracker_records_runs(self, needle):
+        _, cfg, partition, board, _ = needle
+        tracker = CoverageTracker.create(partition, cfg)
+        assert not tracker.is_complete()
+        newly = tracker.record_run(board.run("f", {"key": 0, "level": 0}))
+        assert newly
+        assert 0.0 < tracker.coverage_ratio() < 1.0
+
+    def test_duplicate_runs_do_not_recover_targets(self, needle):
+        _, cfg, partition, board, _ = needle
+        tracker = CoverageTracker.create(partition, cfg)
+        first = tracker.record_run(board.run("f", {"key": 0, "level": 0}))
+        second = tracker.record_run(board.run("f", {"key": 1, "level": 0}))
+        assert first and not second
+
+    def test_figure1_has_eleven_targets_at_block_granularity(self, figure1, figure1_cfg):
+        partition = partition_function(figure1.program.function("main"), 1, figure1_cfg)
+        targets = build_targets(partition, figure1_cfg)
+        assert len(targets) == 11
+
+
+class TestRandomGenerator:
+    def test_deterministic_given_seed(self, needle):
+        _, _, _, _, space = needle
+        first = RandomTestDataGenerator(space, seed=7).generate(10)
+        second = RandomTestDataGenerator(space, seed=7).generate(10)
+        assert first == second
+
+    def test_unique_generation(self, needle):
+        _, _, _, _, space = needle
+        vectors = RandomTestDataGenerator(space, seed=3).generate_unique(20)
+        keys = {tuple(sorted(v.items())) for v in vectors}
+        assert len(keys) == len(vectors)
+
+    def test_random_alone_misses_the_needle(self, needle):
+        """Random testing almost surely misses key == 1234 (motivation for GA/MC)."""
+        _, cfg, partition, board, space = needle
+        tracker = CoverageTracker.create(partition, cfg)
+        for vector in RandomTestDataGenerator(space, seed=11).generate(300):
+            tracker.record_run(board.run("f", vector))
+        uncovered = tracker.uncovered_targets()
+        assert uncovered, "the needle path should not be found by 300 random vectors"
+
+
+class TestGeneticGenerator:
+    def test_ga_finds_the_needle(self, needle):
+        analyzed, cfg, partition, board, space = needle
+        tracker = CoverageTracker.create(partition, cfg)
+        for vector in RandomTestDataGenerator(space, seed=5).generate(50):
+            tracker.record_run(board.run("f", vector))
+        generator = GeneticTestDataGenerator(
+            board, "f", space, GeneticOptions(population_size=40, max_generations=60, seed=5)
+        )
+        deep_block = deep_needle_block(cfg)
+        needle_targets = [
+            t for t in tracker.uncovered_targets() if t.blocks == (deep_block,)
+        ]
+        assert needle_targets
+        # search for the deep `out = 2` block (key == 1234 and level > 90)
+        target = needle_targets[0]
+        outcome = generator.search(target, coverage=tracker)
+        assert outcome.covered
+        run = board.run("f", outcome.vector)
+        assert target.blocks[0] in run.executed_blocks
+
+    def test_fitness_zero_iff_path_taken(self, needle):
+        analyzed, cfg, partition, board, space = needle
+        targets = build_targets(partition, cfg)
+        generator = GeneticTestDataGenerator(board, "f", space)
+        hit_run = board.run("f", {"key": 1234, "level": 95})
+        deep_block = max(b.block_id for b in cfg.real_blocks())
+        for target in targets:
+            fitness = generator.fitness(hit_run, target)
+            if set(target.blocks) <= set(hit_run.executed_blocks):
+                assert fitness == 0.0
+            else:
+                assert fitness > 0.0
+        del deep_block
+
+    def test_fitness_monotone_in_branch_distance(self, needle):
+        analyzed, cfg, partition, board, space = needle
+        targets = build_targets(partition, cfg)
+        # target: the block guarded by key == 1234
+        guarded = next(t for t in targets if len(t.blocks) == 1 and t.blocks[0] != 2)
+        generator = GeneticTestDataGenerator(board, "f", space)
+        far = generator.fitness(board.run("f", {"key": 0, "level": 0}), guarded)
+        near = generator.fitness(board.run("f", {"key": 1230, "level": 0}), guarded)
+        assert near <= far
+
+    def test_statistics_updated(self, needle):
+        analyzed, cfg, partition, board, space = needle
+        generator = GeneticTestDataGenerator(
+            board, "f", space, GeneticOptions(population_size=6, max_generations=2, seed=1)
+        )
+        targets = build_targets(partition, cfg)
+        generator.search(targets[0])
+        assert generator.statistics.targets_attempted == 1
+        assert generator.statistics.evaluations > 0
+
+
+class TestModelCheckingGenerator:
+    def test_covers_the_needle_exactly(self, needle):
+        analyzed, cfg, partition, board, _ = needle
+        targets = build_targets(partition, cfg)
+        generator = ModelCheckingTestDataGenerator(analyzed, "f")
+        deep_target = next(t for t in targets if t.blocks == (deep_needle_block(cfg),))
+        outcome = generator.generate_for_target(deep_target)
+        assert outcome.status is TargetStatus.COVERED
+        run = board.run("f", outcome.vector)
+        assert deep_target.blocks[0] in run.executed_blocks
+        assert outcome.vector["key"] == 1234 and outcome.vector["level"] > 90
+
+    def test_detects_infeasible_paths(self, figure1, figure1_cfg):
+        partition = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        targets = build_targets(partition, figure1_cfg)
+        generator = ModelCheckingTestDataGenerator(figure1, "main")
+        outcomes = generator.generate_for_targets(targets)
+        statuses = [o.status for o in outcomes]
+        assert TargetStatus.INFEASIBLE in statuses  # the printf5 path
+        assert statuses.count(TargetStatus.COVERED) == len(statuses) - 1
+
+    def test_statistics_accumulate(self, needle):
+        analyzed, cfg, partition, _, _ = needle
+        generator = ModelCheckingTestDataGenerator(analyzed, "f")
+        generator.generate_for_targets(build_targets(partition, cfg)[:3])
+        assert generator.statistics.queries == 3
+        assert generator.statistics.total_time_seconds >= 0.0
+
+
+class TestHybridGenerator:
+    def test_full_coverage_of_needle_program(self, needle):
+        analyzed, cfg, partition, board, _ = needle
+        options = HybridOptions(
+            plateau_patterns=40,
+            max_random_vectors=200,
+            genetic=GeneticOptions(population_size=20, max_generations=10, seed=3),
+            seed=3,
+        )
+        generator = HybridTestDataGenerator(analyzed, "f", board, partition, cfg, options)
+        suite = generator.generate()
+        assert suite.is_complete()
+        assert suite.summary()["uncovered"] == 0
+        # the needle paths are beyond plain random testing, so the exact
+        # phases (GA or model checking) must have contributed
+        assert suite.heuristic_share <= 1.0
+        assert len(suite.vectors) >= 3
+
+    def test_hybrid_marks_infeasible_paths(self, figure1, figure1_cfg):
+        partition = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        board = EvaluationBoard(figure1)
+        options = HybridOptions(plateau_patterns=20, max_random_vectors=50, seed=1)
+        generator = HybridTestDataGenerator(
+            figure1, "main", board, partition, figure1_cfg, options
+        )
+        suite = generator.generate()
+        assert suite.is_complete()
+        assert len(suite.infeasible_targets) == 1
+
+    def test_phases_can_be_disabled(self, figure1, figure1_cfg):
+        partition = partition_function(figure1.program.function("main"), 1, figure1_cfg)
+        board = EvaluationBoard(figure1)
+        options = HybridOptions(
+            plateau_patterns=10, max_random_vectors=30,
+            use_genetic=False, use_model_checking=False, seed=2,
+        )
+        generator = HybridTestDataGenerator(
+            figure1, "main", board, partition, figure1_cfg, options
+        )
+        suite = generator.generate()
+        assert suite.model_checking_queries == 0
+        assert suite.genetic_evaluations == 0
+
+    def test_report_provenance_complete(self, figure1, figure1_cfg):
+        partition = partition_function(figure1.program.function("main"), 2, figure1_cfg)
+        board = EvaluationBoard(figure1)
+        generator = HybridTestDataGenerator(
+            figure1, "main", board, partition, figure1_cfg,
+            HybridOptions(plateau_patterns=10, max_random_vectors=30, seed=4),
+        )
+        suite = generator.generate()
+        targets = build_targets(partition, figure1_cfg)
+        assert len(suite.reports) == len(targets)
+        for report in suite.reports:
+            if report.source in (CoverageSource.RANDOM, CoverageSource.GENETIC,
+                                 CoverageSource.MODEL_CHECKING):
+                assert report.vector is not None

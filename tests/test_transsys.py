@@ -1,0 +1,177 @@
+"""Tests of the transition-system IR and the C-to-transition-system translator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.minic import parse_and_analyze
+from repro.minic.types import IntRange
+from repro.transsys import (
+    StateVariable,
+    TranslationOptions,
+    TransitionSystem,
+    block_label,
+    translate_function,
+)
+from repro.transsys.translate import TranslationError
+
+
+def translated(source: str, name: str = "f", options: TranslationOptions | None = None):
+    analyzed = parse_and_analyze(source)
+    return translate_function(analyzed, name, options)
+
+
+SIMPLE = """
+#pragma input u
+#pragma range u 0 15
+int u;
+int r;
+void f(void) {
+    int t;
+    t = u + 1;
+    if (t > 10) {
+        r = 1;
+    } else {
+        r = 2;
+    }
+}
+"""
+
+
+class TestStateVariables:
+    def test_every_program_variable_becomes_state(self):
+        result = translated(SIMPLE)
+        assert set(result.system.variables) == {"u", "r", "t"}
+
+    def test_default_domain_is_16_bit_signed(self):
+        result = translated(SIMPLE)
+        domain = result.system.variables["t"].domain
+        assert domain.lo == -32768 and domain.hi == 32767
+        assert result.system.variables["t"].bits == 16
+
+    def test_inputs_are_free(self):
+        result = translated(SIMPLE)
+        assert result.system.variables["u"].is_input
+        assert result.system.variables["u"].is_free
+
+    def test_unoptimised_non_inputs_are_uninitialised(self):
+        result = translated(SIMPLE)
+        assert result.system.variables["r"].is_free
+
+    def test_variable_ranges_option_shrinks_domains(self):
+        options = TranslationOptions(variable_ranges={"t": IntRange(0, 16), "r": IntRange(0, 2)})
+        result = translated(SIMPLE, options=options)
+        assert result.system.variables["t"].bits == 5
+        assert result.system.variables["r"].bits == 2
+
+    def test_initialisation_option_fixes_non_inputs(self):
+        options = TranslationOptions(initialize_variables=True)
+        result = translated(SIMPLE, options=options)
+        assert not result.system.variables["r"].is_free
+        assert result.system.variables["u"].is_free  # inputs stay free
+
+    def test_excluded_variables_removed_from_model(self):
+        options = TranslationOptions(excluded_variables=frozenset({"r"}))
+        result = translated(SIMPLE, options=options)
+        assert "r" not in result.system.variables
+        # assignments to r became skip transitions: structure intact
+        result.system.validate()
+
+    def test_use_declared_ranges_option(self):
+        options = TranslationOptions(use_declared_ranges=True)
+        result = translated(SIMPLE, options=options)
+        assert result.system.variables["u"].domain.hi == 15
+
+    def test_state_bits_accounting(self):
+        result = translated(SIMPLE)
+        system = result.system
+        assert system.state_bits() == 3 * 16
+        assert system.total_state_bits() == system.state_bits() + system.pc_bits()
+        assert system.initial_state_bits() == 3 * 16  # everything free when unoptimised
+
+
+class TestTransitions:
+    def test_one_transition_per_statement(self):
+        result = translated(SIMPLE)
+        update_transitions = [t for t in result.system.transitions if t.updates]
+        # t = u + 1, r = 1, r = 2
+        assert len(update_transitions) == 3
+
+    def test_branch_produces_two_guarded_transitions(self):
+        result = translated(SIMPLE)
+        guarded = [t for t in result.system.transitions if t.guard is not None]
+        assert len(guarded) == 2
+
+    def test_labels_carry_cfg_provenance(self):
+        result = translated(SIMPLE)
+        labels = {label for t in result.system.transitions for label in t.labels}
+        for block in result.cfg.real_blocks():
+            assert block_label(block.block_id) in labels
+
+    def test_block_locations_exposed(self):
+        result = translated(SIMPLE)
+        for block in result.cfg.real_blocks():
+            assert result.location_of_block(block.block_id) in result.system.locations()
+        with pytest.raises(TranslationError):
+            result.location_of_block(999)
+
+    def test_switch_guards_cover_cases_and_default(self):
+        source = """
+        #pragma input s
+        #pragma range s 0 4
+        int s; int out;
+        void f(void) {
+            switch (s) {
+            case 0: out = 1; break;
+            case 1: case 2: out = 2; break;
+            default: out = 3; break;
+            }
+        }
+        """
+        result = translated(source)
+        guards = [t.guard for t in result.system.transitions if t.guard is not None]
+        assert len(guards) == 3  # case 0, case 1/2, default
+
+    def test_calls_become_skip_transitions(self):
+        source = "void f(void) { act(); }"
+        result = translated(source)
+        call_transitions = [
+            t for t in result.system.transitions if any(l.startswith("call:") for l in t.labels)
+        ]
+        assert len(call_transitions) == 1
+        assert call_transitions[0].updates == []
+
+    def test_return_jumps_to_final_location(self):
+        source = "int x; int f(void) { if (x) { return 1; } return 0; }"
+        result = translated(source)
+        return_transitions = [
+            t for t in result.system.transitions if "return" in t.labels
+        ]
+        assert return_transitions
+        for transition in return_transitions:
+            assert transition.target == result.final_location
+
+    def test_validate_rejects_unknown_variables(self):
+        system = TransitionSystem(name="broken")
+        system.variables["a"] = StateVariable(name="a", domain=IntRange(0, 1))
+        from repro.minic.parser import parse_expression
+        from repro.transsys.system import Transition
+
+        system.transitions.append(
+            Transition(source=0, target=1, guard=parse_expression("ghost > 0"))
+        )
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_describe_renders_sal_like_text(self):
+        result = translated(SIMPLE)
+        text = result.system.describe()
+        assert "MODULE f" in text
+        assert "VARIABLES" in text and "TRANSITIONS" in text
+
+    def test_figure1_translation_summary(self, figure1):
+        result = translate_function(figure1, "main")
+        summary = result.system.summary()
+        assert summary["variables"] == 1  # only `i`
+        assert summary["transitions"] > 10
