@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Standalone entry point for the dataflow perf benchmark.
+
+Equivalent to ``python -m repro.cli bench``; kept under ``benchmarks/`` so
+the perf trajectory workflow lives next to the paper benchmarks:
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--seed N] [--repeats N]
+
+Writes ``BENCH_perf.json`` at the repository root by default.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# allow running without PYTHONPATH=src
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

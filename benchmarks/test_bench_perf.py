@@ -1,0 +1,57 @@
+"""Perf trajectory benchmark: dataflow hot paths on the industrial app.
+
+Unlike the figure/table benchmarks (which reproduce paper numbers), this one
+tracks the repo's own engineering: it times live-variable analysis and
+reaching definitions with the frozenset seed reference versus the indexed
+bitset engine, cross-checks that both produce identical results, and writes
+``BENCH_perf.json`` at the repository root so future PRs have a perf
+trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import format_summary, run_perf_bench
+
+from conftest import write_result
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+#: acceptance floor: the optimised fixpoint must beat the seed by this factor
+MIN_COMBINED_SPEEDUP = 3.0
+
+
+@pytest.mark.perf
+def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
+    report = benchmark.pedantic(
+        run_perf_bench,
+        kwargs={"app": industrial_app, "repeats": 3, "output": BENCH_OUTPUT},
+        rounds=1,
+        iterations=1,
+    )
+
+    # the optimisation must not change a single analysis fact
+    assert report["results_match"], "bitset engine diverged from the frozenset reference"
+    assert report["speedup"]["combined"] >= MIN_COMBINED_SPEEDUP, (
+        f"liveness+reaching speedup {report['speedup']['combined']:.1f}x "
+        f"below the {MIN_COMBINED_SPEEDUP}x floor"
+    )
+    # the report on disk is the artefact future PRs diff against
+    on_disk = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
+    assert on_disk["speedup"]["combined"] == report["speedup"]["combined"]
+    assert on_disk["workload"]["basic_blocks"] == industrial_app.basic_blocks
+
+    lines = [
+        "Perf trajectory: dataflow hot paths on the synthetic industrial app",
+        *format_summary(report).splitlines(),
+        "",
+        f"fixpoint iterations: liveness {report['iterations']['liveness_bitset']}, "
+        f"reaching {report['iterations']['reaching_bitset']}",
+        f"full report: {BENCH_OUTPUT.name}",
+    ]
+    write_result(results_dir, "perf.txt", lines)

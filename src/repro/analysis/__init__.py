@@ -2,6 +2,18 @@
 
 from __future__ import annotations
 
+from .bitset import (
+    BitsetLiveness,
+    BitsetReaching,
+    CfgBitsetIndex,
+    DefinitionIndex,
+    VariableInterner,
+    bitset_block_liveness,
+    bitset_reaching_definitions,
+    cfg_bitset_index,
+    cfg_definition_index,
+    iter_bits,
+)
 from .dataflow import (
     DataflowProblem,
     DataflowResult,
@@ -25,9 +37,36 @@ from .relevance import (
     control_relevant_variables,
     irrelevant_statements,
 )
-from .usedef import UseDef, block_condition_uses, block_use_def, statement_use_def
+from .reference import (
+    block_liveness_reference,
+    reaching_definitions_reference,
+    solve_reference,
+)
+from .usedef import (
+    CfgUseDefs,
+    UseDef,
+    block_condition_uses,
+    block_use_def,
+    cfg_use_defs,
+    statement_use_def,
+)
 
 __all__ = [
+    "BitsetLiveness",
+    "BitsetReaching",
+    "CfgBitsetIndex",
+    "CfgUseDefs",
+    "DefinitionIndex",
+    "VariableInterner",
+    "bitset_block_liveness",
+    "bitset_reaching_definitions",
+    "block_liveness_reference",
+    "cfg_bitset_index",
+    "cfg_definition_index",
+    "cfg_use_defs",
+    "iter_bits",
+    "reaching_definitions_reference",
+    "solve_reference",
     "DataflowProblem",
     "DataflowResult",
     "Direction",

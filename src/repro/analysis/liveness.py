@@ -12,6 +12,14 @@ Two granularities are provided:
 * :func:`block_liveness` -- live-in / live-out sets per basic block,
 * :func:`statement_liveness` -- live-after sets per statement inside a block
   (needed by the interference-graph construction of the optimisation).
+
+The fixpoint runs on the indexed bitset engine
+(:mod:`repro.analysis.bitset`): variable names are interned to bit positions
+once per CFG and the transfer is a handful of integer operations.  The
+public result type stays frozensets of names; the original frozenset
+implementation lives on as
+:func:`repro.analysis.reference.block_liveness_reference` and the two are
+cross-checked bit-for-bit by the test suite.
 """
 
 from __future__ import annotations
@@ -19,8 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cfg.graph import BasicBlock, ControlFlowGraph
-from .dataflow import DataflowProblem, Direction, set_union, solve
-from .usedef import block_use_def, statement_use_def
+from .bitset import bitset_block_liveness
+from .usedef import cfg_use_defs
 
 
 @dataclass
@@ -42,30 +50,10 @@ class LivenessResult:
 
 def block_liveness(cfg: ControlFlowGraph) -> LivenessResult:
     """Compute live-in/live-out sets for every block of *cfg*."""
-    use_defs = {block.block_id: block_use_def(block) for block in cfg.blocks()}
-
-    def successors(block_id: int) -> list[int]:
-        return [edge.target for edge in cfg.out_edges(block_id)]
-
-    def transfer(block_id: int, live_out: frozenset[str]) -> frozenset[str]:
-        use_def = use_defs[block_id]
-        return use_def.uses | (live_out - use_def.defs)
-
-    problem = DataflowProblem(
-        nodes=[block.block_id for block in cfg.blocks()],
-        successors=successors,
-        direction=Direction.BACKWARD,
-        boundary_nodes=[cfg.exit.block_id],
-        boundary=frozenset(),
-        initial=frozenset(),
-        join=set_union,
-        transfer=transfer,
-    )
-    result = solve(problem)
-    # for a backward problem: in_facts = fact flowing into the node in flow
-    # order = live-out; out_facts = transfer result = live-in
-    live_out = {node: result.in_facts[node] for node in result.in_facts}
-    live_in = {node: result.out_facts[node] for node in result.out_facts}
+    solved = bitset_block_liveness(cfg)
+    names_of = solved.index.interner.names_of
+    live_in = {block_id: names_of(mask) for block_id, mask in solved.live_in.items()}
+    live_out = {block_id: names_of(mask) for block_id, mask in solved.live_out.items()}
     return LivenessResult(live_in=live_in, live_out=live_out)
 
 
@@ -80,15 +68,27 @@ def statement_liveness(
     after statement *i* executed.  The block's terminator condition counts as
     executing after the last statement.
     """
-    from .usedef import block_condition_uses
+    from ..cfg.graph import CfgError
+    from .usedef import block_condition_uses, statement_use_def
 
-    del cfg
+    try:
+        registered = cfg.block(block.block_id)
+    except CfgError:
+        registered = None
+    if registered is block:
+        use_defs = cfg_use_defs(cfg)
+        condition_uses = use_defs.condition_uses(block.block_id)
+        statement_use_defs = use_defs.statements(block.block_id)
+    else:
+        # a detached or substituted block: honour exactly what was passed
+        condition_uses = block_condition_uses(block)
+        statement_use_defs = tuple(statement_use_def(s) for s in block.statements)
     after = set(live_out)
-    after |= block_condition_uses(block)
+    after |= condition_uses
     live_after: list[frozenset[str]] = [frozenset()] * len(block.statements)
     for index in range(len(block.statements) - 1, -1, -1):
         live_after[index] = frozenset(after)
-        use_def = statement_use_def(block.statements[index])
+        use_def = statement_use_defs[index]
         after -= use_def.defs
         after |= use_def.uses
     return live_after
@@ -101,15 +101,14 @@ def unused_variables(cfg: ControlFlowGraph, candidates: set[str]) -> set[str]:
     (Section 3.2.2): a variable that is never used can be dropped from the
     model entirely, no matter how often it is written.
     """
-    from .usedef import block_condition_uses
-
+    use_defs = cfg_use_defs(cfg)
     read: set[str] = set()
     for block in cfg.blocks():
         # statement-level uses (block_use_def would hide reads that follow an
         # earlier definition in the same block) plus branch-condition reads
-        for stmt in block.statements:
-            read |= statement_use_def(stmt).uses
-        read |= block_condition_uses(block)
+        for use_def in use_defs.statements(block.block_id):
+            read |= use_def.uses
+        read |= use_defs.condition_uses(block.block_id)
     return {name for name in candidates if name not in read}
 
 
@@ -121,6 +120,7 @@ def live_range_conflicts(cfg: ControlFlowGraph) -> dict[str, set[str]]:
     optimisation merges non-interfering variables of equal type.
     """
     liveness = block_liveness(cfg)
+    use_defs = cfg_use_defs(cfg)
     conflicts: dict[str, set[str]] = {}
 
     def add_conflict(a: str, b: str) -> None:
@@ -131,8 +131,9 @@ def live_range_conflicts(cfg: ControlFlowGraph) -> dict[str, set[str]]:
 
     for block in cfg.blocks():
         live_after = statement_liveness(cfg, block, liveness.live_out[block.block_id])
-        for index, stmt in enumerate(block.statements):
-            use_def = statement_use_def(stmt)
+        statement_use_defs = use_defs.statements(block.block_id)
+        for index in range(len(block.statements)):
+            use_def = statement_use_defs[index]
             for defined in use_def.defs:
                 conflicts.setdefault(defined, set())
                 for other in live_after[index]:

@@ -20,6 +20,7 @@ transition-system translator uses to size state variables.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..cfg.graph import ControlFlowGraph
@@ -118,14 +119,16 @@ class RangeAnalyzer:
         entry_env[self._cfg.entry.block_id] = initial
 
         update_counts: dict[tuple[int, str], int] = {}
-        worklist = [self._cfg.entry.block_id]
+        worklist = deque([self._cfg.entry.block_id])
+        pending = {self._cfg.entry.block_id}
         out_env: dict[int, RangeEnvironment] = {}
         iterations = 0
         while worklist:
             iterations += 1
             if iterations > 50 * max(1, len(self._cfg)):
                 break  # widening guarantees this is unreachable, but be safe
-            block_id = worklist.pop(0)
+            block_id = worklist.popleft()
+            pending.discard(block_id)
             env_in = entry_env.get(block_id)
             if env_in is None:
                 continue
@@ -144,7 +147,8 @@ class RangeAnalyzer:
                     entry_env[successor] = joined
                 else:
                     entry_env[successor] = incoming.copy()
-                if successor not in worklist:
+                if successor not in pending:
+                    pending.add(successor)
                     worklist.append(successor)
 
         global_ranges = self._global_ranges(names)

@@ -10,6 +10,12 @@ be substituted by its defining expression when
 
 The analysis works at statement granularity; definition sites are identified
 by ``(block id, statement index)``.
+
+Definition sites are interned to bit positions once per CFG and the fixpoint
+runs as integer bitmask operations (:mod:`repro.analysis.bitset`); the
+def-use chain walk also stays in mask space until the final conversion to the
+public frozenset-of-:class:`Definition` result.  The frozenset reference
+implementation lives in :mod:`repro.analysis.reference` for cross-checking.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cfg.graph import ControlFlowGraph
-from .dataflow import DataflowProblem, Direction, set_union, solve
-from .usedef import block_condition_uses, statement_use_def
+from .bitset import DefinitionIndex, bitset_reaching_definitions, iter_bits
+from .usedef import cfg_use_defs
 
 
 @dataclass(frozen=True, order=True)
@@ -46,69 +52,56 @@ class ReachingResult:
         return [d for d in self.definitions if d.variable == variable]
 
 
-def reaching_definitions(cfg: ControlFlowGraph) -> ReachingResult:
-    """Compute reaching definitions and def-use chains for *cfg*."""
-    # collect definitions
-    definitions: list[Definition] = []
-    defs_in_block: dict[int, list[Definition]] = {}
-    for block in cfg.blocks():
-        for index, stmt in enumerate(block.statements):
-            for variable in statement_use_def(stmt).defs:
-                definition = Definition(variable, block.block_id, index)
-                definitions.append(definition)
-                defs_in_block.setdefault(block.block_id, []).append(definition)
-
-    defs_by_variable: dict[str, set[Definition]] = {}
-    for definition in definitions:
-        defs_by_variable.setdefault(definition.variable, set()).add(definition)
-
-    gen_kill: dict[int, tuple[frozenset[Definition], frozenset[Definition]]] = {}
-    for block in cfg.blocks():
-        gen: dict[str, Definition] = {}
-        kill: set[Definition] = set()
-        for definition in defs_in_block.get(block.block_id, ()):  # in statement order
-            kill |= defs_by_variable[definition.variable]
-            gen[definition.variable] = definition  # later defs shadow earlier ones
-        gen_kill[block.block_id] = (frozenset(gen.values()), frozenset(kill))
-
-    def successors(block_id: int) -> list[int]:
-        return [edge.target for edge in cfg.out_edges(block_id)]
-
-    def transfer(block_id: int, reach_in: frozenset[Definition]) -> frozenset[Definition]:
-        gen, kill = gen_kill[block_id]
-        return gen | (reach_in - kill)
-
-    problem = DataflowProblem(
-        nodes=[block.block_id for block in cfg.blocks()],
-        successors=successors,
-        direction=Direction.FORWARD,
-        boundary_nodes=[cfg.entry.block_id],
-        boundary=frozenset(),
-        initial=frozenset(),
-        join=set_union,
-        transfer=transfer,
-    )
-    result = solve(problem)
-    reach_in = dict(result.in_facts)
-    reach_out = dict(result.out_facts)
-
-    # def-use chains by walking each block with its reach-in set
+def _def_use_chains(
+    cfg: ControlFlowGraph,
+    reach_in_masks: dict[int, int],
+    index: DefinitionIndex,
+) -> dict[Definition, set[tuple[int, int]]]:
+    """Walk every block with its reach-in mask and record definition uses."""
+    use_defs = cfg_use_defs(cfg)
+    definitions = index.definitions
+    variable_defs = index.variable_defs
+    bit_of = index.bit_of
     uses: dict[Definition, set[tuple[int, int]]] = {d: set() for d in definitions}
     for block in cfg.blocks():
-        current: dict[str, set[Definition]] = {}
-        for definition in reach_in[block.block_id]:
-            current.setdefault(definition.variable, set()).add(definition)
-        for index, stmt in enumerate(block.statements):
-            use_def = statement_use_def(stmt)
+        block_id = block.block_id
+        #: per-variable mask of the definitions currently reaching this point
+        current: dict[str, int] = {}
+        reach_mask = reach_in_masks[block_id]
+        if reach_mask:
+            for variable, defs_mask in variable_defs.items():
+                reaching = reach_mask & defs_mask
+                if reaching:
+                    current[variable] = reaching
+        for stmt_index, use_def in enumerate(use_defs.statements(block_id)):
             for variable in use_def.uses:
-                for definition in current.get(variable, ()):
-                    uses[definition].add((block.block_id, index))
+                for bit in iter_bits(current.get(variable, 0)):
+                    uses[definitions[bit]].add((block_id, stmt_index))
             for variable in use_def.defs:
-                current[variable] = {Definition(variable, block.block_id, index)}
-        for variable in block_condition_uses(block):
-            for definition in current.get(variable, ()):
-                uses[definition].add((block.block_id, -1))
+                current[variable] = 1 << bit_of[
+                    Definition(variable, block_id, stmt_index)
+                ]
+        for variable in use_defs.condition_uses(block_id):
+            for bit in iter_bits(current.get(variable, 0)):
+                uses[definitions[bit]].add((block_id, -1))
+    return uses
 
+
+def reaching_definitions(cfg: ControlFlowGraph) -> ReachingResult:
+    """Compute reaching definitions and def-use chains for *cfg*."""
+    solved = bitset_reaching_definitions(cfg)
+    index = solved.index
+    definitions_of = index.definitions_of
+    reach_in = {
+        block_id: definitions_of(mask) for block_id, mask in solved.reach_in.items()
+    }
+    reach_out = {
+        block_id: definitions_of(mask) for block_id, mask in solved.reach_out.items()
+    }
+    uses = _def_use_chains(cfg, solved.reach_in, index)
     return ReachingResult(
-        reach_in=reach_in, reach_out=reach_out, definitions=definitions, uses=uses
+        reach_in=reach_in,
+        reach_out=reach_out,
+        definitions=list(index.definitions),
+        uses=uses,
     )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cfg.graph import BasicBlock, TerminatorKind
+from ..cfg.graph import BasicBlock, ControlFlowGraph, TerminatorKind
 from ..minic.ast_nodes import (
     DeclStmt,
     ExprStmt,
@@ -80,3 +80,58 @@ def block_condition_uses(block: BasicBlock) -> frozenset[str]:
     if condition is None:
         return frozenset()
     return frozenset(expression_variables(condition))
+
+
+class CfgUseDefs:
+    """Per-CFG memo of every block's and statement's use/def sets.
+
+    Dataflow transfer functions run once per worklist iteration; without this
+    memo they re-walk the statement ASTs on every visit.  The memo is built
+    lazily per block and cached on the CFG's analysis cache (see
+    :func:`cfg_use_defs`), so a graph analysed by liveness, reaching
+    definitions and the bitset engine extracts each use/def set exactly once.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self._cfg = cfg
+        self._block: dict[int, UseDef] = {}
+        self._statements: dict[int, tuple[UseDef, ...]] = {}
+        self._condition: dict[int, frozenset[str]] = {}
+
+    def block(self, block_id: int) -> UseDef:
+        self.statements(block_id)  # runs the length guard, dropping stale entries
+        cached = self._block.get(block_id)
+        if cached is None:
+            cached = self._block[block_id] = block_use_def(self._cfg.block(block_id))
+        return cached
+
+    def statements(self, block_id: int) -> tuple[UseDef, ...]:
+        cached = self._statements.get(block_id)
+        if cached is None or len(cached) != len(self._cfg.block(block_id).statements):
+            # the length guard catches the common in-place mutation pattern
+            # (statements appended/removed after construction) even when the
+            # caller forgot to invalidate; same-length replacement still
+            # requires an explicit invalidate_analysis_caches()
+            cached = self._statements[block_id] = tuple(
+                statement_use_def(stmt)
+                for stmt in self._cfg.block(block_id).statements
+            )
+            self._block.pop(block_id, None)
+        return cached
+
+    def condition_uses(self, block_id: int) -> frozenset[str]:
+        cached = self._condition.get(block_id)
+        if cached is None:
+            cached = self._condition[block_id] = block_condition_uses(
+                self._cfg.block(block_id)
+            )
+        return cached
+
+
+def cfg_use_defs(cfg: ControlFlowGraph) -> CfgUseDefs:
+    """The memoised :class:`CfgUseDefs` of *cfg* (cached on the graph)."""
+    cached = cfg.analysis_cache.get("use_defs")
+    if cached is None:
+        cached = CfgUseDefs(cfg)
+        cfg.analysis_cache["use_defs"] = cached
+    return cached  # type: ignore[return-value]

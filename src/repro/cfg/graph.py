@@ -21,6 +21,7 @@ Two peculiarities of the reproduction (documented in DESIGN.md §5):
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -161,6 +162,34 @@ class CfgError(Exception):
     """Raised when a CFG is malformed or an operation is invalid."""
 
 
+def depth_first_postorder(roots: Iterable, successors: dict) -> list:
+    """Iterative depth-first postorder over a dict adjacency from *roots*.
+
+    Generic over node type (the dataflow solver reuses it for arbitrary flow
+    graphs); nodes unreachable from *roots* are not visited.
+    """
+    seen: set = set()
+    postorder: list = []
+    for root in roots:
+        if root in seen:
+            continue
+        seen.add(root)
+        stack: list = [(root, iter(successors.get(root, ())))]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                postorder.append(node)
+    return postorder
+
+
 class ControlFlowGraph:
     """A per-function control-flow graph."""
 
@@ -171,6 +200,10 @@ class ControlFlowGraph:
         self._succ: dict[int, list[Edge]] = {}
         self._pred: dict[int, list[Edge]] = {}
         self._next_id = 0
+        #: scratch space for analyses keyed off this exact graph shape; cleared
+        #: whenever the block/edge structure changes (see
+        #: :meth:`invalidate_analysis_caches`)
+        self._analysis_cache: dict[str, object] = {}
         self.entry: BasicBlock = self.new_block(kind=BlockKind.ENTRY)
         self.exit: BasicBlock = self.new_block(kind=BlockKind.EXIT)
         self.exit.terminator = Terminator(kind=TerminatorKind.NONE)
@@ -184,6 +217,7 @@ class ControlFlowGraph:
         self._blocks[block.block_id] = block
         self._succ[block.block_id] = []
         self._pred[block.block_id] = []
+        self.invalidate_analysis_caches()
         return block
 
     def add_edge(
@@ -201,6 +235,7 @@ class ControlFlowGraph:
         self._edges.append(edge)
         self._succ[src].append(edge)
         self._pred[dst].append(edge)
+        self.invalidate_analysis_caches()
         return edge
 
     def remove_block(self, block: BasicBlock | int) -> None:
@@ -216,6 +251,7 @@ class ControlFlowGraph:
         self._succ.pop(block_id, None)
         self._pred.pop(block_id, None)
         self._blocks.pop(block_id, None)
+        self.invalidate_analysis_caches()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -260,6 +296,81 @@ class ControlFlowGraph:
         return iter(self.blocks())
 
     # ------------------------------------------------------------------ #
+    # cached analysis accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def analysis_cache(self) -> dict[str, object]:
+        """Per-graph scratch space for derived analysis data.
+
+        Analyses (use/def memoisation, the bitset dataflow index, ...) stash
+        expensive-to-build structures here instead of recomputing them on
+        every call.  The cache is cleared automatically on every structural
+        mutation; code that mutates block *statements* in place after
+        construction must call :meth:`invalidate_analysis_caches` itself.
+        """
+        return self._analysis_cache
+
+    def invalidate_analysis_caches(self) -> None:
+        """Drop all cached adjacency, ordering and analysis data."""
+        self._analysis_cache.clear()
+
+    def successor_map(self) -> dict[int, tuple[int, ...]]:
+        """Cached block-id adjacency: ``block id -> successor ids``."""
+        cached = self._analysis_cache.get("successor_map")
+        if cached is None:
+            cached = {
+                bid: tuple(e.target for e in edges)
+                for bid, edges in self._succ.items()
+            }
+            self._analysis_cache["successor_map"] = cached
+        return cached  # type: ignore[return-value]
+
+    def predecessor_map(self) -> dict[int, tuple[int, ...]]:
+        """Cached block-id adjacency: ``block id -> predecessor ids``."""
+        cached = self._analysis_cache.get("predecessor_map")
+        if cached is None:
+            cached = {
+                bid: tuple(e.source for e in edges)
+                for bid, edges in self._pred.items()
+            }
+            self._analysis_cache["predecessor_map"] = cached
+        return cached  # type: ignore[return-value]
+
+    def reverse_postorder(self) -> tuple[int, ...]:
+        """Block ids in reverse postorder from the entry block (cached).
+
+        This is the canonical iteration order for forward dataflow problems:
+        ignoring back edges, every predecessor of a block appears before the
+        block itself.  Blocks unreachable from the entry are appended at the
+        end in id order so the sequence always covers the whole graph.
+        """
+        cached = self._analysis_cache.get("reverse_postorder")
+        if cached is None:
+            succ = self.successor_map()
+            order = list(reversed(depth_first_postorder([self.entry.block_id], succ)))
+            reached = set(order)
+            order.extend(bid for bid in sorted(self._blocks) if bid not in reached)
+            cached = tuple(order)
+            self._analysis_cache["reverse_postorder"] = cached
+        return cached  # type: ignore[return-value]
+
+    def backward_reverse_postorder(self) -> tuple[int, ...]:
+        """Block ids in reverse postorder of the *reversed* graph (cached).
+
+        The analogous iteration order for backward dataflow problems
+        (liveness): computed from the exit block over predecessor edges.
+        """
+        cached = self._analysis_cache.get("backward_reverse_postorder")
+        if cached is None:
+            pred = self.predecessor_map()
+            order = list(reversed(depth_first_postorder([self.exit.block_id], pred)))
+            reached = set(order)
+            order.extend(bid for bid in sorted(self._blocks) if bid not in reached)
+            cached = tuple(order)
+            self._analysis_cache["backward_reverse_postorder"] = cached
+        return cached  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
     # algorithms
     # ------------------------------------------------------------------ #
     def reachable_blocks(self) -> set[int]:
@@ -293,10 +404,10 @@ class ControlFlowGraph:
         for edge in self._edges:
             if edge.kind is not EdgeKind.BACK:
                 indegree[edge.target] += 1
-        worklist = [bid for bid, deg in sorted(indegree.items()) if deg == 0]
+        worklist = deque(bid for bid, deg in sorted(indegree.items()) if deg == 0)
         order: list[BasicBlock] = []
         while worklist:
-            block_id = worklist.pop(0)
+            block_id = worklist.popleft()
             order.append(self._blocks[block_id])
             for edge in self._succ.get(block_id, ()):
                 if edge.kind is EdgeKind.BACK:

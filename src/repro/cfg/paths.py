@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from .. import perf
 from ..minic.ast_nodes import (
     BreakStmt,
     CompoundStmt,
@@ -199,6 +200,7 @@ class CfgPathCounter:
         source_id = source.block_id if isinstance(source, BasicBlock) else source
         target_ids = self._target_ids(targets)
         region_key = frozenset(region) if region is not None else None
+        perf.add("paths.count_calls")
         return self._count(source_id, target_ids, region, region_key)
 
     def _target_ids(self, targets: Sequence[BasicBlock | int] | None) -> set[int]:
@@ -263,18 +265,22 @@ def enumerate_paths(
 
     produced = 0
     stack: list[tuple[int, tuple[int, ...], tuple[Edge, ...]]] = [(source_id, (source_id,), ())]
-    while stack:
-        block_id, blocks, edges = stack.pop()
-        is_terminal = (
-            block_id in target_ids
-            or (region is not None and block_id not in region and len(blocks) > 1)
-        )
-        out_edges = [e for e in cfg.out_edges(block_id) if e.kind is not EdgeKind.BACK]
-        if is_terminal or not out_edges:
-            produced += 1
-            if produced > limit:
-                raise PathCountError(f"more than {limit} paths in region")
-            yield CfgPath(blocks=blocks, edges=edges)
-            continue
-        for edge in reversed(out_edges):
-            stack.append((edge.target, blocks + (edge.target,), edges + (edge,)))
+    try:
+        while stack:
+            block_id, blocks, edges = stack.pop()
+            is_terminal = (
+                block_id in target_ids
+                or (region is not None and block_id not in region and len(blocks) > 1)
+            )
+            out_edges = [e for e in cfg.out_edges(block_id) if e.kind is not EdgeKind.BACK]
+            if is_terminal or not out_edges:
+                produced += 1
+                if produced > limit:
+                    raise PathCountError(f"more than {limit} paths in region")
+                yield CfgPath(blocks=blocks, edges=edges)
+                continue
+            for edge in reversed(out_edges):
+                stack.append((edge.target, blocks + (edge.target,), edges + (edge,)))
+    finally:
+        if produced:
+            perf.add("paths.enumerated", produced)

@@ -11,6 +11,10 @@ Three sub-commands cover the paper's workflow:
 
 ``repro-wcet case-study``
     regenerate the paper's wiper-control case study end to end.
+
+``repro-wcet bench``
+    time the dataflow hot paths on the synthetic industrial application and
+    write the ``BENCH_perf.json`` perf-trajectory report.
 """
 
 from __future__ import annotations
@@ -65,6 +69,16 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import format_summary, run_perf_bench
+
+    report = run_perf_bench(
+        seed=args.seed, repeats=args.repeats, output=args.output
+    )
+    print(format_summary(report))
+    return 0 if report["results_match"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-wcet",
@@ -99,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     case_study.add_argument("--bound", type=int, default=2, help="path bound b")
     case_study.set_defaults(handler=_cmd_case_study)
+
+    bench = subparsers.add_parser(
+        "bench", help="time the dataflow hot paths and write BENCH_perf.json"
+    )
+    bench.add_argument("--seed", type=int, default=2005, help="generator seed")
+    bench.add_argument("--repeats", type=int, default=3, help="timing repetitions")
+    bench.add_argument(
+        "--output", default="BENCH_perf.json",
+        help="JSON report path (default: BENCH_perf.json)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

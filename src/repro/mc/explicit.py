@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from itertools import product
 
+from .. import perf
 from ..solver.expression import concrete_eval
 from ..transsys.system import TransitionSystem
 from .property import ReachabilityGoal
@@ -41,9 +42,24 @@ class ExplicitStateEngine:
         self._system = system
         self._options = options or ExplicitEngineOptions()
         self._variable_names = sorted(system.variables)
+        #: canonical instances of the value tuples (keyed by the fixed
+        #: variable order above); breadth-first search revisits the same
+        #: valuation many times, and interning both deduplicates the tuple
+        #: storage and lets the visited-set lookups short-circuit on identity
+        self._interned_values: dict[tuple[int, ...], tuple[int, ...]] = {}
+
+    def _intern(self, values: tuple[int, ...]) -> tuple[int, ...]:
+        return self._interned_values.setdefault(values, values)
 
     # ------------------------------------------------------------------ #
     def check(self, goal: ReachabilityGoal) -> CheckResult:
+        with perf.timed("mc.explicit.check"):
+            result = self._check(goal)
+        perf.add("mc.explicit.checks")
+        perf.add("mc.explicit.explored_states", result.statistics.explored_states)
+        return result
+
+    def _check(self, goal: ReachabilityGoal) -> CheckResult:
         started = time.perf_counter()
         stats = CheckStatistics(
             state_bits=self._system.total_state_bits(),
@@ -57,6 +73,7 @@ class ExplicitStateEngine:
         queue: list[tuple[int, tuple[int, ...], tuple[int, ...], tuple[int, ...], int]] = []
         visited: set[tuple[int, tuple[int, ...], int]] = set()
         for values in initial_states:
+            values = self._intern(values)
             location = self._system.initial_location
             progress = 0
             entry = (location, values, values, (), progress)
@@ -96,7 +113,9 @@ class ExplicitStateEngine:
                     value = concrete_eval(expr, assignment)
                     domain = self._system.variables[name].domain
                     new_assignment[name] = min(max(value, domain.lo), domain.hi)
-                new_values = tuple(new_assignment[name] for name in self._variable_names)
+                new_values = self._intern(
+                    tuple(new_assignment[name] for name in self._variable_names)
+                )
                 new_progress = goal.progress_after(transition, progress)
                 new_trace = trace + (transition_index[id(transition)],)
                 if goal.satisfied(transition.target, transition, new_progress):

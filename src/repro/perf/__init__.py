@@ -1,0 +1,36 @@
+"""Performance instrumentation and benchmarking subsystem.
+
+:mod:`repro.perf.instrument` provides counters, timers, a ``@profiled``
+decorator and a JSON report writer; :mod:`repro.perf.bench` runs the
+dataflow hot paths on the synthetic industrial application and writes the
+``BENCH_perf.json`` trajectory file (also reachable via
+``python -m repro.cli bench``).
+"""
+
+from __future__ import annotations
+
+from .instrument import (
+    PerfRegistry,
+    TimerStat,
+    add,
+    global_registry,
+    profiled,
+    record_time,
+    report,
+    reset,
+    timed,
+    write_report,
+)
+
+__all__ = [
+    "PerfRegistry",
+    "TimerStat",
+    "add",
+    "global_registry",
+    "profiled",
+    "record_time",
+    "report",
+    "reset",
+    "timed",
+    "write_report",
+]

@@ -1,0 +1,200 @@
+"""Lightweight performance instrumentation: counters, timers, profiling.
+
+The hot paths of the reproduction (the dataflow fixpoint solver, path
+enumeration, the explicit-state engine) record how much work they do into a
+:class:`PerfRegistry`.  The registry is deliberately simple -- plain dicts
+behind a lock -- so that instrumenting a hot loop costs one dict update per
+*call*, not per iteration: callers aggregate locally and record once.
+
+A process-wide default registry is available through the module-level
+helpers (:func:`add`, :func:`record_time`, :func:`timed`, :func:`profiled`,
+:func:`report`, :func:`write_report`, :func:`reset`).  Benchmarks reset it,
+run a workload and serialise the report next to their timing numbers (see
+:mod:`repro.perf.bench`).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, TypeVar
+
+FuncT = TypeVar("FuncT", bound=Callable[..., Any])
+
+#: schema tag written into every JSON report
+REPORT_SCHEMA = "repro-perf/1"
+
+
+class TimerStat:
+    """Accumulated wall-clock time of one named operation."""
+
+    __slots__ = ("calls", "total_seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+class PerfRegistry:
+    """Named monotonic counters and wall-clock timers.
+
+    Thread-safe; disabling a registry turns every recording operation into a
+    cheap no-op so instrumented code needs no conditional logic of its own.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Record one timed call of *seconds* under *name*."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.record(seconds)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager timing its body with ``time.perf_counter``."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - started)
+
+    def profiled(self, name: str | None = None) -> Callable[[FuncT], FuncT]:
+        """Decorator recording call count and wall-clock time of a function.
+
+        Usable as ``@registry.profiled()`` or ``@registry.profiled("label")``;
+        the default label is the function's qualified name.
+        """
+
+        def decorate(func: FuncT) -> FuncT:
+            label = name or f"{func.__module__}.{func.__qualname__}"
+
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                started = time.perf_counter()
+                try:
+                    return func(*args, **kwargs)
+                finally:
+                    self.record_time(label, time.perf_counter() - started)
+
+            return wrapper  # type: ignore[return-value]
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # inspection and reporting
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> TimerStat | None:
+        with self._lock:
+            return self._timers.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    def report(self) -> dict[str, Any]:
+        """Snapshot of all counters and timers as plain JSON-friendly data."""
+        with self._lock:
+            return {
+                "schema": REPORT_SCHEMA,
+                "counters": dict(sorted(self._counters.items())),
+                "timers": {
+                    name: stat.as_dict()
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
+
+    def write_report(
+        self, path: str | Path, extra: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Serialise :meth:`report` (merged with *extra*) as JSON to *path*."""
+        payload = self.report()
+        if extra:
+            payload.update(extra)
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+        return payload
+
+
+#: process-wide default registry used by the instrumented hot paths
+_GLOBAL_REGISTRY = PerfRegistry()
+
+
+def global_registry() -> PerfRegistry:
+    return _GLOBAL_REGISTRY
+
+
+def add(name: str, amount: int = 1) -> None:
+    _GLOBAL_REGISTRY.add(name, amount)
+
+
+def record_time(name: str, seconds: float) -> None:
+    _GLOBAL_REGISTRY.record_time(name, seconds)
+
+
+def timed(name: str):
+    return _GLOBAL_REGISTRY.timed(name)
+
+
+def profiled(name: str | None = None) -> Callable[[FuncT], FuncT]:
+    return _GLOBAL_REGISTRY.profiled(name)
+
+
+def report() -> dict[str, Any]:
+    return _GLOBAL_REGISTRY.report()
+
+
+def write_report(path: str | Path, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    return _GLOBAL_REGISTRY.write_report(path, extra)
+
+
+def reset() -> None:
+    _GLOBAL_REGISTRY.reset()

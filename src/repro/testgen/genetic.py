@@ -22,6 +22,7 @@ back to model checking for whatever remains uncovered.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..hw.board import EvaluationBoard
@@ -222,10 +223,10 @@ class GeneticTestDataGenerator:
         start = cfg.entry.block_id
         goal = target.blocks[0]
         parents: dict[int, tuple[int, str]] = {}
-        queue = [start]
+        queue = deque([start])
         seen = {start}
         while queue:
-            current = queue.pop(0)
+            current = queue.popleft()
             if current == goal:
                 break
             for edge in cfg.out_edges(current):

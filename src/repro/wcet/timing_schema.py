@@ -18,6 +18,7 @@ a standard (conservative) extension.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..cfg.dominators import natural_loops
@@ -242,10 +243,10 @@ class TimingSchema:
         for targets in graph.values():
             for target in targets:
                 indegree[target] += 1
-        worklist = sorted(sid for sid, degree in indegree.items() if degree == 0)
+        worklist = deque(sorted(sid for sid, degree in indegree.items() if degree == 0))
         order: list[int] = []
         while worklist:
-            segment_id = worklist.pop(0)
+            segment_id = worklist.popleft()
             order.append(segment_id)
             for target in graph.get(segment_id, ()):
                 indegree[target] -= 1
