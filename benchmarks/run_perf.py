@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Standalone entry point for the dataflow perf benchmark.
+"""Standalone entry point for the pipeline perf benchmark.
 
 Equivalent to ``python -m repro.cli bench``; kept under ``benchmarks/`` so
 the perf trajectory workflow lives next to the paper benchmarks:

@@ -1,11 +1,12 @@
-"""Perf trajectory benchmark: dataflow hot paths on the industrial app.
+"""Perf trajectory benchmark: pipeline hot paths on the synthetic apps.
 
 Unlike the figure/table benchmarks (which reproduce paper numbers), this one
-tracks the repo's own engineering: it times live-variable analysis and
-reaching definitions with the frozenset seed reference versus the indexed
-bitset engine, cross-checks that both produce identical results, and writes
-``BENCH_perf.json`` at the repository root so future PRs have a perf
-trajectory to compare against.
+tracks the repo's own engineering: it times live-variable analysis, reaching
+definitions and the interval analysis with the seed reference versus the
+optimised engines (cross-checked for identical results), plus the
+partitioning and model-checking stages, and writes ``BENCH_perf.json`` at
+the repository root so future PRs have a whole-pipeline perf trajectory to
+compare against.
 """
 
 from __future__ import annotations
@@ -35,19 +36,40 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
         iterations=1,
     )
 
-    # the optimisation must not change a single analysis fact
-    assert report["results_match"], "bitset engine diverged from the frozenset reference"
+    # the optimisations must not change a single analysis fact
+    assert report["results_match"], "optimised engines diverged from the seed reference"
     assert report["speedup"]["combined"] >= MIN_COMBINED_SPEEDUP, (
         f"liveness+reaching speedup {report['speedup']['combined']:.1f}x "
         f"below the {MIN_COMBINED_SPEEDUP}x floor"
     )
+    # the interval analysis rides the same cached-RPO machinery: it must not
+    # be slower than the seed-era iteration order
+    assert report["speedup"]["ranges"] >= 1.0
+
+    # the whole-pipeline trajectory: partitioning and model checking recorded
+    timings = report["timings_seconds"]
+    for key in (
+        "ranges_reference",
+        "partition_paper",
+        "partition_general",
+        "modelcheck_build_industrial",
+        "modelcheck_build_small",
+        "modelcheck_queries_small",
+    ):
+        assert timings[key] >= 0.0, key
+    pipeline = report["pipeline"]
+    assert pipeline["partition_segments_paper"] > 0
+    assert pipeline["modelcheck_queries"] > 0
+    assert sum(pipeline["modelcheck_verdicts"].values()) == pipeline["modelcheck_queries"]
+
     # the report on disk is the artefact future PRs diff against
     on_disk = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
     assert on_disk["speedup"]["combined"] == report["speedup"]["combined"]
     assert on_disk["workload"]["basic_blocks"] == industrial_app.basic_blocks
+    assert on_disk["pipeline"] == pipeline
 
     lines = [
-        "Perf trajectory: dataflow hot paths on the synthetic industrial app",
+        "Perf trajectory: pipeline hot paths on the synthetic applications",
         *format_summary(report).splitlines(),
         "",
         f"fixpoint iterations: liveness {report['iterations']['liveness_bitset']}, "

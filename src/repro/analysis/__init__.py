@@ -38,6 +38,7 @@ from .relevance import (
     irrelevant_statements,
 )
 from .reference import (
+    analyze_ranges_reference,
     block_liveness_reference,
     reaching_definitions_reference,
     solve_reference,
@@ -60,6 +61,7 @@ __all__ = [
     "VariableInterner",
     "bitset_block_liveness",
     "bitset_reaching_definitions",
+    "analyze_ranges_reference",
     "block_liveness_reference",
     "cfg_bitset_index",
     "cfg_definition_index",

@@ -16,13 +16,24 @@ analysis over the CFG with widening at loop heads:
 The product of the analysis is :class:`RangeAnalysisResult`, whose
 ``global_ranges`` map (the hull over all program points) is what the
 transition-system translator uses to size state variables.
+
+Like liveness and reaching definitions, the fixpoint runs on the CFG's
+cached adjacency (:meth:`~repro.cfg.graph.ControlFlowGraph.successor_map`)
+with the worklist seeded in cached reverse postorder and O(1) membership --
+the dict-environment *facts* are unchanged, only the iteration strategy is
+the engineered one.  The seed-era loop (entry-seeded FIFO over
+``out_edges``) is preserved as
+:func:`repro.analysis.reference.analyze_ranges_reference` and cross-checked
+in the tests.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import perf
 from ..cfg.graph import ControlFlowGraph
 from ..minic.ast_nodes import (
     AssignExpr,
@@ -110,6 +121,7 @@ class RangeAnalyzer:
 
     # ------------------------------------------------------------------ #
     def run(self) -> RangeAnalysisResult:
+        started = time.perf_counter()
         names = set(self._defaults)
         entry_env: dict[int, RangeEnvironment] = {}
         # initial environment: inputs get their declared range, other
@@ -118,9 +130,18 @@ class RangeAnalyzer:
         initial = RangeEnvironment(ranges=dict(self._defaults))
         entry_env[self._cfg.entry.block_id] = initial
 
+        # cached adjacency + reverse postorder: seeding the worklist in RPO
+        # means (back edges aside) a block's predecessors are transferred
+        # before the block itself, so the first sweep already propagates the
+        # entry environment through the whole graph; blocks seeded before
+        # their environment arrives simply skip and are re-queued by their
+        # predecessors
+        successors = self._cfg.successor_map()
+        seed_order = self._cfg.reverse_postorder()
+
         update_counts: dict[tuple[int, str], int] = {}
-        worklist = deque([self._cfg.entry.block_id])
-        pending = {self._cfg.entry.block_id}
+        worklist = deque(seed_order)
+        pending = set(seed_order)
         out_env: dict[int, RangeEnvironment] = {}
         iterations = 0
         while worklist:
@@ -136,22 +157,23 @@ class RangeAnalyzer:
             if block_id in out_env and out_env[block_id] == env_out:
                 continue
             out_env[block_id] = env_out
-            for edge in self._cfg.out_edges(block_id):
-                successor = edge.target
-                incoming = env_out
+            for successor in successors.get(block_id, ()):
                 if successor in entry_env:
-                    joined = entry_env[successor].join(incoming, names, self._defaults)
+                    joined = entry_env[successor].join(env_out, names, self._defaults)
                     joined = self._widen(successor, entry_env[successor], joined, update_counts)
                     if joined == entry_env[successor]:
                         continue
                     entry_env[successor] = joined
                 else:
-                    entry_env[successor] = incoming.copy()
+                    entry_env[successor] = env_out.copy()
                 if successor not in pending:
                     pending.add(successor)
                     worklist.append(successor)
 
         global_ranges = self._global_ranges(names)
+        perf.add("ranges.solve_calls")
+        perf.add("ranges.iterations", iterations)
+        perf.record_time("ranges.solve", time.perf_counter() - started)
         return RangeAnalysisResult(global_ranges=global_ranges, block_entry=entry_env)
 
     def _global_ranges(self, names: set[str]) -> dict[str, IntRange]:

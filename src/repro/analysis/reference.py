@@ -17,9 +17,13 @@ results; use :mod:`repro.analysis.liveness` / :mod:`repro.analysis.reaching`.
 
 from __future__ import annotations
 
+from collections import deque
+
 from .dataflow import DataflowProblem, DataflowResult, Direction, set_union
 from ..cfg.graph import ControlFlowGraph
+from ..minic.symbols import FunctionSymbolTable
 from .liveness import LivenessResult
+from .ranges import RangeAnalysisResult, RangeAnalyzer, RangeEnvironment
 from .reaching import Definition, ReachingResult
 from .usedef import block_condition_uses, block_use_def, statement_use_def
 
@@ -201,3 +205,65 @@ def reaching_definitions_reference(cfg: ControlFlowGraph) -> ReachingResult:
     return ReachingResult(
         reach_in=reach_in, reach_out=reach_out, definitions=definitions, uses=uses
     )
+
+
+# ---------------------------------------------------------------------- #
+# interval (value-range) analysis
+# ---------------------------------------------------------------------- #
+class _ReferenceRangeAnalyzer(RangeAnalyzer):
+    """Seed-era interval fixpoint: entry-seeded FIFO over ``out_edges``.
+
+    The transfer functions, joins and widening are shared with the production
+    :class:`~repro.analysis.ranges.RangeAnalyzer`; only the iteration
+    strategy is the original one (worklist seeded with the entry block only,
+    adjacency re-derived from the edge objects on every visit).
+    """
+
+    def run(self) -> RangeAnalysisResult:
+        names = set(self._defaults)
+        entry_env: dict[int, RangeEnvironment] = {}
+        initial = RangeEnvironment(ranges=dict(self._defaults))
+        entry_env[self._cfg.entry.block_id] = initial
+
+        update_counts: dict[tuple[int, str], int] = {}
+        worklist = deque([self._cfg.entry.block_id])
+        pending = {self._cfg.entry.block_id}
+        out_env: dict[int, RangeEnvironment] = {}
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > 50 * max(1, len(self._cfg)):
+                break  # widening guarantees this is unreachable, but be safe
+            block_id = worklist.popleft()
+            pending.discard(block_id)
+            env_in = entry_env.get(block_id)
+            if env_in is None:
+                continue
+            env_out = self._transfer(block_id, env_in.copy())
+            if block_id in out_env and out_env[block_id] == env_out:
+                continue
+            out_env[block_id] = env_out
+            for edge in self._cfg.out_edges(block_id):
+                successor = edge.target
+                incoming = env_out
+                if successor in entry_env:
+                    joined = entry_env[successor].join(incoming, names, self._defaults)
+                    joined = self._widen(successor, entry_env[successor], joined, update_counts)
+                    if joined == entry_env[successor]:
+                        continue
+                    entry_env[successor] = joined
+                else:
+                    entry_env[successor] = incoming.copy()
+                if successor not in pending:
+                    pending.add(successor)
+                    worklist.append(successor)
+
+        global_ranges = self._global_ranges(names)
+        return RangeAnalysisResult(global_ranges=global_ranges, block_entry=entry_env)
+
+
+def analyze_ranges_reference(
+    cfg: ControlFlowGraph, table: FunctionSymbolTable
+) -> RangeAnalysisResult:
+    """Seed implementation of :func:`repro.analysis.ranges.analyze_ranges`."""
+    return _ReferenceRangeAnalyzer(cfg, table).run()

@@ -1,6 +1,7 @@
 """Command-line interface of the WCET analysis tool.
 
-Three sub-commands cover the paper's workflow:
+The sub-commands cover the paper's workflow and the repo's batch/perf
+tooling:
 
 ``repro-wcet partition FILE --function F --bounds 1,2,3``
     print the instrumentation-point / measurement trade-off table (Table 1
@@ -12,9 +13,15 @@ Three sub-commands cover the paper's workflow:
 ``repro-wcet case-study``
     regenerate the paper's wiper-control case study end to end.
 
+``repro-wcet project FILE... --jobs N``
+    batch-analyse every function of one or many source files through the
+    project orchestration layer (process-pool parallelism, persistent result
+    cache); ``--demo`` runs the synthetic multi-function workload instead.
+
 ``repro-wcet bench``
-    time the dataflow hot paths on the synthetic industrial application and
-    write the ``BENCH_perf.json`` perf-trajectory report.
+    time the pipeline hot paths (dataflow, partitioning, model checking) on
+    the synthetic applications and write the ``BENCH_perf.json``
+    perf-trajectory report.
 """
 
 from __future__ import annotations
@@ -69,6 +76,51 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_project(args: argparse.Namespace) -> int:
+    from .project import Project, ProjectScheduler, ResultCache
+
+    if args.demo:
+        if args.files:
+            print(
+                "error: --demo and source files are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        from .workloads.multi import generate_multi_function_workload
+
+        workload = generate_multi_function_workload(
+            seed=args.demo_seed, functions=args.demo_functions
+        )
+        project = Project.from_sources(workload.sources)
+    elif args.files:
+        project = Project.from_paths(args.files)
+    else:
+        print("error: no source files given (or use --demo)", file=sys.stderr)
+        return 2
+
+    config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
+    if args.no_exhaustive:
+        config.exhaustive_limit = None
+    cache = (
+        ResultCache.disabled()
+        if args.no_cache
+        else ResultCache(args.cache_dir)
+    )
+    scheduler = ProjectScheduler(
+        project,
+        config=config,
+        cache=cache,
+        workers=args.jobs,
+        only=args.functions,
+    )
+    report = scheduler.run()
+    print(report.to_text())
+    if args.json_output:
+        report.write_json(args.json_output)
+        print(f"JSON report written to {args.json_output}")
+    return 1 if report.failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import format_summary, run_perf_bench
 
@@ -114,8 +166,55 @@ def build_parser() -> argparse.ArgumentParser:
     case_study.add_argument("--bound", type=int, default=2, help="path bound b")
     case_study.set_defaults(handler=_cmd_case_study)
 
+    project = subparsers.add_parser(
+        "project",
+        help="batch-analyse every function of a project (parallel, cached)",
+    )
+    project.add_argument("files", nargs="*", help="mini-C source files")
+    project.add_argument(
+        "--demo", action="store_true",
+        help="analyse the synthetic multi-function workload instead of files",
+    )
+    project.add_argument(
+        "--demo-functions", type=int, default=4,
+        help="number of generated functions with --demo (default 4)",
+    )
+    project.add_argument(
+        "--demo-seed", type=int, default=2005, help="workload generator seed"
+    )
+    project.add_argument(
+        "--function", action="append", dest="functions", metavar="NAME",
+        help="restrict the analysis to this function (repeatable)",
+    )
+    project.add_argument("--bound", type=int, default=4, help="path bound b")
+    project.add_argument(
+        "--partitioner", choices=("paper", "general"), default="paper",
+        help="partitioning algorithm",
+    )
+    project.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool workers (1 = serial, default)",
+    )
+    project.add_argument(
+        "--cache-dir", default=".repro-wcet-cache",
+        help="persistent result-cache directory (default: .repro-wcet-cache)",
+    )
+    project.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    project.add_argument(
+        "--no-exhaustive", action="store_true",
+        help="skip the exhaustive end-to-end comparison",
+    )
+    project.add_argument(
+        "--json", dest="json_output", metavar="PATH",
+        help="also write the project report as JSON to PATH",
+    )
+    project.set_defaults(handler=_cmd_project)
+
     bench = subparsers.add_parser(
-        "bench", help="time the dataflow hot paths and write BENCH_perf.json"
+        "bench",
+        help="time the pipeline hot paths and write BENCH_perf.json",
     )
     bench.add_argument("--seed", type=int, default=2005, help="generator seed")
     bench.add_argument("--repeats", type=int, default=3, help="timing repetitions")

@@ -1,12 +1,19 @@
-"""Dataflow hot-path benchmark: optimised engine versus the seed reference.
+"""Pipeline hot-path benchmark: optimised engines versus the seed reference.
 
-Times live-variable analysis and reaching definitions on the synthetic
-industrial application (the stand-in for the paper's ~857-block TargetLink
-function) twice: once with the frozenset reference implementations preserved
-in :mod:`repro.analysis.reference` (the seed algorithms) and once with the
-production bitset engine.  The interval analysis is timed as well to extend
-the trajectory, and the results of both liveness/reaching implementations
-are compared for exact equality before any speedup is reported.
+Times the whole-pipeline trajectory on the synthetic applications:
+
+* **dataflow** -- live-variable analysis, reaching definitions and the
+  interval analysis on the industrial application (the stand-in for the
+  paper's ~857-block TargetLink function), each with the seed reference
+  implementation preserved in :mod:`repro.analysis.reference` versus the
+  production engine, cross-checked for exact result equality;
+* **partitioning** -- the paper and general partitioners on the industrial
+  application;
+* **model checking** -- building the optimised model of the industrial
+  application, plus a deterministic batch of block-reachability queries on
+  the *small* synthetic application (deep queries on the 857-block function
+  take minutes, which is a workload for the project scheduler, not for a
+  tier-1 benchmark).
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -30,7 +37,10 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/1"
+BENCH_SCHEMA = "repro-bench-perf/2"
+
+#: block-reachability queries per model-checking timing batch
+MODELCHECK_QUERY_COUNT = 12
 
 
 def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -60,30 +70,122 @@ def _reaching_equal(reference, optimised) -> bool:
     )
 
 
+def _bench_pipeline_stages(
+    app, small_app, repeats: int
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time partitioning and model checking; return (timings, details).
+
+    Partitioning runs on the industrial application.  The optimised model is
+    built for the industrial application too, but the reachability-query
+    batch runs against the small synthetic application: a single deep query
+    on the 857-block function takes minutes and belongs in a soak run, not
+    in the tier-1 trajectory.
+    """
+    from ..mc import EngineKind, ModelChecker, ModelCheckerOptions
+    from ..optim.pipeline import OptimizationConfig, build_optimized_model
+    from ..partition.general import GeneralPartitionOptions, GeneralPartitioner
+    from ..partition.partitioner import PaperPartitioner
+
+    function = app.analyzed.program.function(app.function_name)
+    paper_s, paper_partition = _best_of(
+        repeats, lambda: PaperPartitioner(4).partition(function, app.cfg)
+    )
+    general_s, general_partition = _best_of(
+        repeats,
+        lambda: GeneralPartitioner(4, GeneralPartitionOptions()).partition(
+            function, app.cfg
+        ),
+    )
+
+    # optimised-model construction on the industrial app (timed once: the
+    # optimisation pipeline itself re-runs the dataflow analyses timed above)
+    build_industrial_s, industrial_model = _best_of(
+        1,
+        lambda: build_optimized_model(
+            app.analyzed, app.function_name, OptimizationConfig.cfg_preserving()
+        ),
+    )
+
+    build_small_s, small_model = _best_of(
+        repeats,
+        lambda: build_optimized_model(
+            small_app.analyzed,
+            small_app.function_name,
+            OptimizationConfig.cfg_preserving(),
+        ),
+    )
+    checker = ModelChecker(
+        small_model.translation, ModelCheckerOptions(engine=EngineKind.AUTO)
+    )
+    targets = sorted(small_model.translation.block_location)[:MODELCHECK_QUERY_COUNT]
+
+    def query_batch() -> dict[str, int]:
+        verdicts: dict[str, int] = {}
+        for block_id in targets:
+            verdict = checker.find_test_data_for_block(block_id).verdict.value
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        return verdicts
+
+    queries_s, verdicts = _best_of(repeats, query_batch)
+
+    timings = {
+        "partition_paper": paper_s,
+        "partition_general": general_s,
+        "modelcheck_build_industrial": build_industrial_s,
+        "modelcheck_build_small": build_small_s,
+        "modelcheck_queries_small": queries_s,
+    }
+    details = {
+        "partition_path_bound": 4,
+        "partition_segments_paper": len(paper_partition.segments),
+        "partition_segments_general": len(general_partition.segments),
+        "modelcheck_queries": len(targets),
+        "modelcheck_verdicts": verdicts,
+        "modelcheck_state_bits_industrial": {
+            "optimised": industrial_model.state_bits,
+            "unoptimised": industrial_model.unoptimized_state_bits,
+        },
+        "modelcheck_state_bits_small": {
+            "optimised": small_model.state_bits,
+            "unoptimised": small_model.unoptimized_state_bits,
+        },
+        "small_app_blocks": small_app.basic_blocks,
+        "small_app_seed": small_app.seed,
+    }
+    return timings, details
+
+
 def run_perf_bench(
     seed: int = 2005,
     repeats: int = 3,
     output: str | Path | None = DEFAULT_OUTPUT,
     app=None,
+    small_app=None,
 ) -> dict[str, Any]:
-    """Benchmark the dataflow hot paths; optionally write the JSON report.
+    """Benchmark the pipeline hot paths; optionally write the JSON report.
 
-    ``app`` lets callers reuse an already-generated synthetic application
-    (the pytest benchmark shares the session fixture); otherwise one is
-    generated from ``seed``.
+    ``app`` / ``small_app`` let callers reuse already-generated synthetic
+    applications (the pytest benchmark shares the session fixture); otherwise
+    they are generated from ``seed``.
     """
     from ..analysis.bitset import bitset_block_liveness, bitset_reaching_definitions
     from ..analysis.liveness import block_liveness
     from ..analysis.ranges import analyze_ranges
     from ..analysis.reaching import reaching_definitions
     from ..analysis.reference import (
+        analyze_ranges_reference,
         block_liveness_reference,
         reaching_definitions_reference,
     )
-    from ..workloads.targetlink import generate_synthetic_application
+    from ..workloads.targetlink import (
+        generate_small_application,
+        generate_synthetic_application,
+    )
 
     if app is None:
         app = generate_synthetic_application(seed=seed)
+    if small_app is None:
+        small_app = generate_small_application()
     cfg = app.cfg
     table = app.analyzed.table(app.function_name)
 
@@ -112,11 +214,21 @@ def run_perf_bench(
     optimised_reaching_s, optimised_reaching = _best_of(
         repeats, lambda: reaching_definitions(cfg)
     )
+    ranges_reference_s, ranges_reference = _best_of(
+        repeats, lambda: analyze_ranges_reference(cfg, table)
+    )
     ranges_s, ranges_result = _best_of(repeats, lambda: analyze_ranges(cfg, table))
 
-    results_match = _liveness_equal(
-        reference_liveness, optimised_liveness
-    ) and _reaching_equal(reference_reaching, optimised_reaching)
+    results_match = (
+        _liveness_equal(reference_liveness, optimised_liveness)
+        and _reaching_equal(reference_reaching, optimised_reaching)
+        and ranges_result.global_ranges == ranges_reference.global_ranges
+        and ranges_result.block_entry == ranges_reference.block_entry
+    )
+
+    pipeline_timings, pipeline_details = _bench_pipeline_stages(
+        app, small_app, repeats
+    )
 
     liveness_iterations = bitset_block_liveness(cfg).iterations
     reaching_iterations = bitset_reaching_definitions(cfg).iterations
@@ -138,18 +250,22 @@ def run_perf_bench(
             "liveness_optimised": optimised_liveness_s,
             "reaching_reference": reference_reaching_s,
             "reaching_optimised": optimised_reaching_s,
+            "ranges_reference": ranges_reference_s,
             "ranges_optimised": ranges_s,
             "optimised_cold_first_run": cold_seconds,
+            **pipeline_timings,
         },
         "speedup": {
             "liveness": reference_liveness_s / max(optimised_liveness_s, 1e-9),
             "reaching": reference_reaching_s / max(optimised_reaching_s, 1e-9),
+            "ranges": ranges_reference_s / max(ranges_s, 1e-9),
             "combined": reference_total / max(optimised_total, 1e-9),
         },
         "iterations": {
             "liveness_bitset": liveness_iterations,
             "reaching_bitset": reaching_iterations,
         },
+        "pipeline": pipeline_details,
         "results_match": results_match,
         "repeats": repeats,
         "global_ranges_variables": len(ranges_result.global_ranges),
@@ -181,10 +297,36 @@ def format_summary(report: dict[str, Any]) -> str:
         f"{timings['liveness_reference'] + timings['reaching_reference']:>11.4f}s "
         f"{timings['liveness_optimised'] + timings['reaching_optimised']:>11.4f}s "
         f"{speedup['combined']:>8.1f}x",
-        f"{'interval analysis':<22} {'-':>12} "
-        f"{timings['ranges_optimised']:>11.4f}s {'-':>9}",
-        f"results identical to frozenset reference: {report['results_match']}",
+        f"{'interval analysis':<22} {timings['ranges_reference']:>11.4f}s "
+        f"{timings['ranges_optimised']:>11.4f}s {speedup['ranges']:>8.1f}x",
+        f"results identical to seed reference: {report['results_match']}",
     ]
+    pipeline = report.get("pipeline")
+    if pipeline:
+        verdicts = ", ".join(
+            f"{count} {name}"
+            for name, count in sorted(pipeline["modelcheck_verdicts"].items())
+        )
+        lines += [
+            "pipeline stages:",
+            f"{'partition (paper)':<22} {'-':>12} "
+            f"{timings['partition_paper']:>11.4f}s "
+            f"({pipeline['partition_segments_paper']} segments, "
+            f"b={pipeline['partition_path_bound']})",
+            f"{'partition (general)':<22} {'-':>12} "
+            f"{timings['partition_general']:>11.4f}s "
+            f"({pipeline['partition_segments_general']} segments)",
+            f"{'mc model (industrial)':<22} {'-':>12} "
+            f"{timings['modelcheck_build_industrial']:>11.4f}s "
+            f"({pipeline['modelcheck_state_bits_industrial']['optimised']} of "
+            f"{pipeline['modelcheck_state_bits_industrial']['unoptimised']} state bits)",
+            f"{'mc model (small)':<22} {'-':>12} "
+            f"{timings['modelcheck_build_small']:>11.4f}s "
+            f"({pipeline['small_app_blocks']} blocks)",
+            f"{'mc queries (small)':<22} {'-':>12} "
+            f"{timings['modelcheck_queries_small']:>11.4f}s "
+            f"({pipeline['modelcheck_queries']} queries: {verdicts})",
+        ]
     if "output_path" in report:
         lines.append(f"report written to {report['output_path']}")
     return "\n".join(lines)
@@ -193,7 +335,7 @@ def format_summary(report: dict[str, Any]) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench-perf",
-        description="Time the dataflow hot paths on the synthetic industrial app",
+        description="Time the pipeline hot paths on the synthetic applications",
     )
     parser.add_argument("--seed", type=int, default=2005, help="generator seed")
     parser.add_argument("--repeats", type=int, default=3, help="timing repetitions")

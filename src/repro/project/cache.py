@@ -1,0 +1,142 @@
+"""Persistent on-disk cache of per-function analysis results.
+
+Results are keyed by a SHA-256 over three components:
+
+* the cache schema version (bumping :data:`CACHE_SCHEMA` invalidates
+  everything after an incompatible format change),
+* the function's content fingerprint (file-scope environment + pretty-printed
+  body, see :func:`repro.project.model.function_fingerprint`), and
+* the fingerprint of the :class:`~repro.pipeline.analyzer.AnalyzerConfig`.
+
+Each entry is one small JSON file ``<root>/<key[:2]>/<key>.json`` holding a
+:class:`~repro.project.report.FunctionSummary` payload; the two-character
+shard keeps directories small for big projects.  Writes are atomic
+(temp file + ``os.replace``) so parallel runs sharing a cache directory never
+observe torn entries, and corrupt or schema-mismatched entries read as
+misses.  Hits and misses are counted per instance and into the global
+:mod:`repro.perf` registry (``project.cache.hits`` / ``project.cache.misses``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .. import perf
+from ..pipeline.analyzer import AnalyzerConfig
+from .model import config_fingerprint
+from .report import FunctionSummary
+
+#: schema tag stored in (and required of) every cache entry
+CACHE_SCHEMA = "repro-project-cache/1"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`FunctionSummary` results."""
+
+    def __init__(self, root: str | Path | None, enabled: bool = True):
+        self._root = Path(root) if root is not None else None
+        self.enabled = enabled and self._root is not None
+        self.hits = 0
+        self.misses = 0
+        self.store_failures = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def disabled(cls) -> "ResultCache":
+        return cls(root=None, enabled=False)
+
+    @property
+    def root(self) -> Path | None:
+        return self._root
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, function_fingerprint: str, config: AnalyzerConfig) -> str:
+        """Cache key of one (function content, analyzer config) pair."""
+        digest = hashlib.sha256(
+            "\n".join(
+                [CACHE_SCHEMA, function_fingerprint, config_fingerprint(config)]
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        if self._root is None:
+            raise ValueError("cache has no root directory")
+        return self._root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> FunctionSummary | None:
+        """Load the summary stored under *key*, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        with perf.timed("project.cache.lookup"):
+            summary = self._read(key)
+        if summary is None:
+            self.misses += 1
+            perf.add("project.cache.misses")
+            return None
+        self.hits += 1
+        perf.add("project.cache.hits")
+        summary.from_cache = True
+        return summary
+
+    def _read(self, key: str) -> FunctionSummary | None:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return None
+        summary = payload.get("summary")
+        if not isinstance(summary, dict):
+            return None
+        try:
+            return FunctionSummary.from_dict(summary)
+        except TypeError:
+            return None
+
+    def put(self, key: str, summary: FunctionSummary) -> None:
+        """Store *summary* under *key* (atomic; no-op when disabled).
+
+        The cache is an optimization: an unwritable directory must not
+        discard the analysis results it was asked to remember, so storage
+        failures are swallowed and counted (``store_failures`` /
+        ``project.cache.store_failures``) instead of raised.
+        """
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "summary": summary.result_payload(),
+        }
+        try:
+            with perf.timed("project.cache.store"):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = tempfile.NamedTemporaryFile(
+                    "w",
+                    dir=path.parent,
+                    prefix=f".{key[:8]}-",
+                    suffix=".tmp",
+                    delete=False,
+                    encoding="utf-8",
+                )
+                try:
+                    with handle:
+                        json.dump(payload, handle, indent=2)
+                        handle.write("\n")
+                    os.replace(handle.name, path)
+                except BaseException:
+                    os.unlink(handle.name)
+                    raise
+        except OSError:
+            self.store_failures += 1
+            perf.add("project.cache.store_failures")
+            return
+        perf.add("project.cache.stores")

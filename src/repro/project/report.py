@@ -1,0 +1,220 @@
+"""Project-level aggregation of per-function WCET results.
+
+:class:`FunctionSummary` is the JSON-friendly extract of one
+:class:`~repro.wcet.report.WcetReport` -- it is what process-pool workers
+return to the scheduler and what the persistent result cache stores, so it
+deliberately contains only plain data (no ASTs, CFGs or measurement
+databases).  :class:`ProjectReport` aggregates the summaries of a whole
+batch run together with cache and scheduling statistics and renders them as
+text (CLI) or JSON (``--json`` export / tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any
+
+from ..wcet.report import WcetReport
+
+#: schema tag of the JSON project report
+PROJECT_REPORT_SCHEMA = "repro-project-report/1"
+
+
+@dataclass
+class FunctionSummary:
+    """Plain-data result of one function analysis."""
+
+    unit: str
+    function: str
+    path_bound: int
+    partitioner: str
+    segments: int
+    instrumentation_points: int
+    measurements_required: int
+    measurement_runs: int
+    test_vectors_used: int
+    infeasible_paths: int
+    wcet_bound_cycles: int
+    measured_wcet_cycles: int | None
+    overestimation: float | None
+    safe: bool
+    critical_segments: list[int] = field(default_factory=list)
+    generator_statistics: dict[str, int] = field(default_factory=dict)
+    #: result-cache key this summary is stored under ("" when caching is off)
+    cache_key: str = ""
+    #: True when the summary was loaded from the cache instead of computed
+    from_cache: bool = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_report(
+        cls, unit: str, partitioner: str, report: WcetReport, cache_key: str = ""
+    ) -> "FunctionSummary":
+        return cls(
+            unit=unit,
+            function=report.function_name,
+            path_bound=report.path_bound,
+            partitioner=partitioner,
+            segments=len(report.partition.segments),
+            instrumentation_points=report.partition.instrumentation_points,
+            measurements_required=report.partition.measurements,
+            measurement_runs=len(report.database),
+            test_vectors_used=report.test_vectors_used,
+            infeasible_paths=report.infeasible_paths,
+            wcet_bound_cycles=report.wcet_bound_cycles,
+            measured_wcet_cycles=report.measured_wcet_cycles,
+            overestimation=report.overestimation_ratio,
+            safe=report.is_safe(),
+            critical_segments=sorted(report.bound.critical_segments),
+            generator_statistics=dict(report.generator_statistics),
+            cache_key=cache_key,
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FunctionSummary":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def result_payload(self) -> dict[str, Any]:
+        """The cache- and scheduling-independent identity of the result.
+
+        Serial and parallel runs must agree on this payload exactly; it
+        excludes ``from_cache`` (a property of the run, not of the result).
+        """
+        payload = self.to_dict()
+        payload.pop("from_cache")
+        return payload
+
+
+@dataclass
+class ProjectFailure:
+    """One function analysis that raised instead of producing a report."""
+
+    unit: str
+    function: str
+    error: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"unit": self.unit, "function": self.function, "error": self.error}
+
+
+@dataclass
+class ProjectReport:
+    """Aggregated result of one project batch run."""
+
+    functions: list[FunctionSummary]
+    failures: list[ProjectFailure] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_dir: str | None = None
+    #: "serial", "process-pool", or "serial-fallback" (a pool was started
+    #: but died / could not pickle, and the rest of the batch ran serially)
+    mode: str = "serial"
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_functions(self) -> int:
+        return len(self.functions)
+
+    @property
+    def total_segments(self) -> int:
+        return sum(summary.segments for summary in self.functions)
+
+    @property
+    def total_instrumentation_points(self) -> int:
+        return sum(summary.instrumentation_points for summary in self.functions)
+
+    @property
+    def total_measurement_runs(self) -> int:
+        return sum(summary.measurement_runs for summary in self.functions)
+
+    @property
+    def total_test_vectors(self) -> int:
+        return sum(summary.test_vectors_used for summary in self.functions)
+
+    @property
+    def all_safe(self) -> bool:
+        return all(summary.safe for summary in self.functions)
+
+    def function_payloads(self) -> list[dict[str, Any]]:
+        """Per-function result payloads (the serial-vs-parallel invariant)."""
+        return [summary.result_payload() for summary in self.functions]
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PROJECT_REPORT_SCHEMA,
+            "totals": {
+                "functions": self.total_functions,
+                "segments": self.total_segments,
+                "instrumentation_points": self.total_instrumentation_points,
+                "measurement_runs": self.total_measurement_runs,
+                "test_vectors_used": self.total_test_vectors,
+                "all_safe": self.all_safe,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "directory": self.cache_dir,
+            },
+            "execution": {
+                "mode": self.mode,
+                "workers": self.workers,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+            "functions": [summary.to_dict() for summary in self.functions],
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_text(self) -> str:
+        lines = [
+            f"Project WCET report: {self.total_functions} function(s)",
+            f"  execution mode            : {self.mode} ({self.workers} worker(s), "
+            f"{self.elapsed_seconds:.2f}s)",
+            f"  result cache              : {self.cache_hits} hit(s), "
+            f"{self.cache_misses} miss(es)"
+            + (f" in {self.cache_dir}" if self.cache_dir else " (disabled)"),
+            f"  total segments            : {self.total_segments}",
+            f"  total instrumentation pts : {self.total_instrumentation_points}",
+            f"  total measurement runs    : {self.total_measurement_runs}",
+            f"  total test vectors        : {self.total_test_vectors}",
+            f"  all bounds safe           : {self.all_safe}",
+            "  per-function results:",
+        ]
+        header = (
+            f"    {'unit':<16} {'function':<16} {'seg':>4} {'ip':>5} {'runs':>6} "
+            f"{'bound':>7} {'measured':>9} {'safe':>5} {'cache':>6}"
+        )
+        lines.append(header)
+        for summary in self.functions:
+            measured = (
+                str(summary.measured_wcet_cycles)
+                if summary.measured_wcet_cycles is not None
+                else "---"
+            )
+            lines.append(
+                f"    {summary.unit:<16} {summary.function:<16} "
+                f"{summary.segments:>4} {summary.instrumentation_points:>5} "
+                f"{summary.measurement_runs:>6} {summary.wcet_bound_cycles:>7} "
+                f"{measured:>9} {str(summary.safe):>5} "
+                f"{'hit' if summary.from_cache else 'miss':>6}"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"    {failure.unit:<16} {failure.function:<16} FAILED: {failure.error}"
+            )
+        return "\n".join(lines)

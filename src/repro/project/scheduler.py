@@ -1,0 +1,302 @@
+"""Job-graph scheduler driving :class:`WcetAnalyzer` over a whole project.
+
+Every analyzable function becomes one :class:`AnalysisJob`.  The scheduler
+first probes the persistent result cache (:mod:`repro.project.cache`); the
+remaining jobs are executed either serially in-process or on a
+``concurrent.futures.ProcessPoolExecutor``.  The analysis is fully seeded
+(random, genetic and model-checking phases all derive from the
+:class:`~repro.pipeline.analyzer.AnalyzerConfig`), so serial and parallel
+runs produce bit-identical :class:`~repro.project.report.FunctionSummary`
+payloads -- the scheduler only changes *where* a job runs, never *what* it
+computes.  If the process pool cannot be created or dies (sandboxed
+environments, pickling restrictions), the scheduler falls back to serial
+execution (report ``mode`` = ``"serial-fallback"``) and records
+``project.scheduler.pool_fallbacks`` in the perf registry rather than
+failing the batch.
+
+Jobs carry an optional dependency list and run in topological waves; today
+every function analysis is independent (one wave), but cross-function
+dependencies (e.g. analysing callees before callers to reuse their bounds)
+plug into the same mechanism.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import enum
+import pickle
+import time
+from dataclasses import dataclass
+
+from .. import perf
+from ..minic import parse_and_analyze
+from ..pipeline.analyzer import AnalyzerConfig, WcetAnalyzer
+from .cache import ResultCache
+from .model import Project, ProjectError, ProjectFunction
+from .report import FunctionSummary, ProjectFailure, ProjectReport
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    CACHED = "cached"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class AnalysisJob:
+    """One function analysis in the project job graph."""
+
+    job_id: int
+    function: ProjectFunction
+    cache_key: str = ""
+    #: job ids that must complete before this job may run
+    deps: tuple[int, ...] = ()
+    state: JobState = JobState.PENDING
+    summary: FunctionSummary | None = None
+    error: str | None = None
+
+
+def _execute_analysis(
+    unit_name: str, source: str, function_name: str, config: AnalyzerConfig
+) -> tuple[dict, float]:
+    """Analyse one function from its unit source; return (summary dict, seconds).
+
+    Module-level so it pickles into process-pool workers; the worker re-parses
+    the unit from source, which keeps the inter-process payload to plain
+    strings plus the (picklable, dataclass-only) config.
+    """
+    started = time.perf_counter()
+    analyzed = parse_and_analyze(source, filename=unit_name)
+    report = WcetAnalyzer(analyzed, function_name, config).analyze()
+    summary = FunctionSummary.from_report(unit_name, config.partitioner, report)
+    return summary.to_dict(), time.perf_counter() - started
+
+
+class ProjectScheduler:
+    """Run every analyzable function of a project through the WCET pipeline."""
+
+    def __init__(
+        self,
+        project: Project,
+        config: AnalyzerConfig | None = None,
+        cache: ResultCache | None = None,
+        workers: int = 1,
+        only: list[str] | None = None,
+    ):
+        self._project = project
+        self._config = config or AnalyzerConfig()
+        self._cache = cache or ResultCache.disabled()
+        self._workers = max(1, int(workers))
+        self._only = only
+        self._jobs: list[AnalysisJob] | None = None
+        #: execution mode of the last run ("serial", "process-pool", or
+        #: "serial-fallback" when a started pool died mid-batch)
+        self.mode = "serial"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def jobs(self) -> list[AnalysisJob]:
+        """The job graph (built once, ordered by (unit, function))."""
+        if self._jobs is None:
+            self._jobs = [
+                AnalysisJob(
+                    job_id=index,
+                    function=function,
+                    cache_key=self._cache.key_for(function.fingerprint, self._config),
+                )
+                for index, function in enumerate(
+                    self._project.functions(only=self._only)
+                )
+            ]
+        return self._jobs
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ProjectReport:
+        """Execute the job graph and aggregate the project report."""
+        started = time.perf_counter()
+        jobs = self.jobs()
+        perf.add("project.jobs", len(jobs))
+
+        with perf.timed("project.schedule"):
+            for wave in self._waves(jobs):
+                runnable = self._probe_cache(wave)
+                self._execute(runnable)
+
+        failures = [
+            ProjectFailure(
+                unit=job.function.unit,
+                function=job.function.name,
+                error=job.error or "unknown error",
+            )
+            for job in jobs
+            if job.state is JobState.FAILED
+        ]
+        summaries = [job.summary for job in jobs if job.summary is not None]
+        return ProjectReport(
+            functions=summaries,
+            failures=failures,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_dir=str(self._cache.root) if self._cache.root else None,
+            mode=self.mode,
+            workers=self._workers,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _waves(jobs: list[AnalysisJob]) -> list[list[AnalysisJob]]:
+        """Topological waves of the dependency graph (one wave today)."""
+        done: set[int] = set()
+        remaining = list(jobs)
+        waves: list[list[AnalysisJob]] = []
+        while remaining:
+            wave = [job for job in remaining if all(d in done for d in job.deps)]
+            if not wave:
+                raise ProjectError("job graph contains a dependency cycle")
+            waves.append(wave)
+            done.update(job.job_id for job in wave)
+            remaining = [job for job in remaining if job.job_id not in done]
+        return waves
+
+    def _probe_cache(self, wave: list[AnalysisJob]) -> list[AnalysisJob]:
+        """Resolve cached jobs; return the ones that must actually run."""
+        runnable: list[AnalysisJob] = []
+        for job in wave:
+            summary = self._cache.get(job.cache_key)
+            if summary is not None:
+                summary.cache_key = job.cache_key
+                # the cache is content-addressed: identical functions in
+                # different units share one entry, so restore this job's
+                # identity over whatever unit/function stored the entry
+                summary.unit = job.function.unit
+                summary.function = job.function.name
+                job.summary = summary
+                job.state = JobState.CACHED
+                perf.add("project.jobs_cached")
+            else:
+                runnable.append(job)
+        return runnable
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, jobs: list[AnalysisJob]) -> None:
+        if not jobs:
+            return
+        if self._workers > 1 and len(jobs) > 1:
+            remaining = self._execute_pool(jobs)
+        else:
+            remaining = jobs
+        for job in remaining:
+            self._execute_serial(job)
+
+    def _execute_pool(self, jobs: list[AnalysisJob]) -> list[AnalysisJob]:
+        """Run *jobs* on a process pool; return the jobs still to be executed."""
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self._workers, len(jobs))
+            )
+        except (OSError, ValueError) as error:
+            perf.add("project.scheduler.pool_fallbacks")
+            perf.add("project.scheduler.pool_errors")
+            del error
+            return jobs
+        pending: dict[concurrent.futures.Future, AnalysisJob] = {}
+        try:
+            with pool:
+                for job in jobs:
+                    unit = self._project.unit(job.function.unit)
+                    job.state = JobState.RUNNING
+                    future = pool.submit(
+                        _execute_analysis,
+                        unit.name,
+                        unit.source,
+                        job.function.name,
+                        self._config,
+                    )
+                    pending[future] = job
+                for future in concurrent.futures.as_completed(pending):
+                    job = pending.pop(future)
+                    try:
+                        payload, seconds = future.result()
+                    except (
+                        concurrent.futures.process.BrokenProcessPool,
+                        pickle.PicklingError,
+                    ):
+                        # pool-level trouble, not a property of this job
+                        raise
+                    except Exception as error:
+                        self._fail(job, error)
+                        continue
+                    self._complete(job, FunctionSummary.from_dict(payload), seconds)
+        except (
+            concurrent.futures.process.BrokenProcessPool,
+            pickle.PicklingError,
+        ):
+            # the pool died (fork bans, OOM-killed worker) or the config does
+            # not pickle: retry the unfinished jobs serially so the batch
+            # still completes
+            perf.add("project.scheduler.pool_fallbacks")
+            survivors = [
+                job
+                for job in jobs
+                if job.summary is None and job.state is not JobState.FAILED
+            ]
+            for job in survivors:
+                job.state = JobState.PENDING
+            self.mode = "serial-fallback"
+            return survivors
+        self.mode = "process-pool"
+        return []
+
+    def _execute_serial(self, job: AnalysisJob) -> None:
+        unit = self._project.unit(job.function.unit)
+        job.state = JobState.RUNNING
+        started = time.perf_counter()
+        try:
+            # reuse the unit's already-analysed AST in-process; the pipeline
+            # is deterministic, so this matches the worker's re-parse exactly
+            report = WcetAnalyzer(
+                unit.analyzed, job.function.name, self._config
+            ).analyze()
+        except Exception as error:
+            self._fail(job, error)
+            return
+        summary = FunctionSummary.from_report(
+            unit.name, self._config.partitioner, report
+        )
+        self._complete(job, summary, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    def _complete(
+        self, job: AnalysisJob, summary: FunctionSummary, seconds: float
+    ) -> None:
+        summary.cache_key = job.cache_key
+        job.summary = summary
+        job.state = JobState.DONE
+        self._cache.put(job.cache_key, summary)
+        perf.add("project.jobs_executed")
+        perf.record_time("project.analyze_function", seconds)
+
+    @staticmethod
+    def _fail(job: AnalysisJob, error: Exception) -> None:
+        job.state = JobState.FAILED
+        job.error = f"{type(error).__name__}: {error}"
+        perf.add("project.jobs_failed")
+
+
+def analyze_project(
+    project: Project,
+    config: AnalyzerConfig | None = None,
+    cache: ResultCache | None = None,
+    workers: int = 1,
+    only: list[str] | None = None,
+) -> ProjectReport:
+    """Convenience wrapper: schedule and run every function of *project*."""
+    return ProjectScheduler(
+        project, config=config, cache=cache, workers=workers, only=only
+    ).run()

@@ -10,12 +10,15 @@ from .figure1 import (
     figure1_analyzed,
     figure1_program,
 )
+from .multi import MultiFunctionWorkload, generate_multi_function_workload
 
 __all__ = [
     "EXPECTED_BASIC_BLOCKS",
     "EXPECTED_TOTAL_PATHS",
     "FIGURE1_SOURCE",
+    "MultiFunctionWorkload",
     "TABLE1_EXPECTED",
     "figure1_analyzed",
     "figure1_program",
+    "generate_multi_function_workload",
 ]

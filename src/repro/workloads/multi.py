@@ -1,0 +1,176 @@
+"""Synthetic multi-function workload for the project orchestration driver.
+
+The TargetLink generator (:mod:`repro.workloads.targetlink`) produces *one*
+industrial-size function; this module produces a small *project* -- several
+translation units, each defining several independent controller tasks -- to
+exercise :mod:`repro.project`: parallel scheduling, per-function cache keys
+and project-level aggregation.  Every task reads the unit's shared sensor
+inputs (deliberately tiny ranges, so the per-function input space stays
+exhaustively measurable), mixes if/else ladders, saturations and a
+``switch`` over a selector input, and calls external runnable stubs --
+the same ingredients as the single-function generator, shrunk to
+batch-test size.
+
+Everything is seeded: the same ``seed`` always yields byte-identical
+sources, which the project cache tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+#: ranges of the shared sensor inputs (kept tiny: 4**3 = 64 input vectors per
+#: unit keeps exhaustive end-to-end measurement of every task cheap)
+INPUT_RANGE_HI = 3
+INPUTS_PER_UNIT = 3
+
+
+@dataclass
+class MultiFunctionWorkload:
+    """A generated multi-unit, multi-function project."""
+
+    #: unit name -> mini-C source text
+    sources: dict[str, str]
+    #: (unit name, function name) of every generated task
+    functions: list[tuple[str, str]]
+    seed: int
+
+    @property
+    def function_names(self) -> list[str]:
+        return [name for _, name in self.functions]
+
+    def write_to(self, directory: str | Path) -> list[Path]:
+        """Write every unit into *directory*; return the file paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        for name in sorted(self.sources):
+            path = directory / name
+            path.write_text(self.sources[name], encoding="utf-8")
+            paths.append(path)
+        return paths
+
+
+class _TaskGenerator:
+    """Seeded generator of one unit's task functions."""
+
+    def __init__(self, rng: random.Random, unit_index: int):
+        self._rng = rng
+        self._unit = unit_index
+        self._inputs = [f"in{index}" for index in range(INPUTS_PER_UNIT)]
+        self._stubs: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    def render_unit(self, task_names: list[str]) -> str:
+        bodies = [self._task(name) for name in task_names]
+        lines = [f"/* synthetic multi-function workload, unit {self._unit} */"]
+        for name in self._inputs:
+            lines.append(f"#pragma input {name}")
+        for name in self._inputs:
+            lines.append(f"#pragma range {name} 0 {INPUT_RANGE_HI}")
+        lines.append("")
+        for name in self._inputs:
+            lines.append(f"UInt8 {name};")
+        for name in task_names:
+            lines.append(f"Int16 out_{name} = 0;")
+        lines.append("")
+        for name in sorted(set(self._stubs)):
+            lines.append(f"void {name}(void);")
+        lines.append("")
+        lines.extend(bodies)
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------ #
+    def _task(self, name: str) -> str:
+        rng = self._rng
+        sel = rng.choice(self._inputs)
+        lines = [f"void {name}(void) {{", "    Int16 acc = 0;"]
+        lines.append(
+            f"    acc = {self._input()} * {rng.randint(2, 9)} + {self._input()};"
+        )
+        lines.extend(self._saturation())
+        lines.extend(self._ladder(depth=rng.randint(1, 2)))
+        lines.extend(self._selector_switch(sel))
+        if rng.random() < 0.7:
+            stub = self._fresh_stub()
+            lines.append(f"    if ((acc > {rng.randint(3, 12)}) && "
+                         f"({self._input()} != 0)) {{")
+            lines.append(f"        {stub}();")
+            lines.append("    }")
+        lines.append(f"    out_{name} = acc;")
+        lines.append("}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def _input(self) -> str:
+        return self._rng.choice(self._inputs)
+
+    def _fresh_stub(self) -> str:
+        name = f"runnable_{self._unit}_{len(self._stubs)}"
+        self._stubs.append(name)
+        return name
+
+    def _saturation(self) -> list[str]:
+        upper = self._rng.randint(10, 25)
+        return [
+            f"    if (acc > {upper}) {{",
+            f"        acc = {upper};",
+            "    }",
+        ]
+
+    def _ladder(self, depth: int) -> list[str]:
+        rng = self._rng
+        lines: list[str] = []
+        pad = "    "
+        for level in range(depth):
+            operator = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+            lines.append(
+                f"{pad}if ({self._input()} {operator} {rng.randint(0, INPUT_RANGE_HI)}) {{"
+            )
+            lines.append(f"{pad}    acc = acc + {rng.randint(1, 5)};")
+            pad += "    "
+        for level in range(depth):
+            pad = pad[:-4]
+            lines.append(f"{pad}}} else {{")
+            lines.append(f"{pad}    acc = acc - {rng.randint(1, 3)};")
+            lines.append(f"{pad}}}")
+        return lines
+
+    def _selector_switch(self, selector: str) -> list[str]:
+        rng = self._rng
+        lines = [f"    switch ({selector}) {{"]
+        for value in range(rng.randint(2, INPUT_RANGE_HI)):
+            lines.append(f"    case {value}:")
+            lines.append(f"        acc = acc + {rng.randint(1, 6)};")
+            lines.append("        break;")
+        lines.append("    default:")
+        lines.append(f"        acc = acc - {rng.randint(1, 4)};")
+        lines.append("        break;")
+        lines.append("    }")
+        return lines
+
+
+def generate_multi_function_workload(
+    seed: int = 2005, functions: int = 4, units: int = 2
+) -> MultiFunctionWorkload:
+    """Generate *functions* tasks spread round-robin over *units* source files."""
+    if functions < 1:
+        raise ValueError("need at least one function")
+    units = max(1, min(units, functions))
+    per_unit: dict[int, list[str]] = {index: [] for index in range(units)}
+    for index in range(functions):
+        per_unit[index % units].append(f"task_{index}")
+
+    sources: dict[str, str] = {}
+    names: list[tuple[str, str]] = []
+    for unit_index in range(units):
+        unit_name = f"unit_{unit_index}.c"
+        rng = random.Random(f"{seed}/{unit_index}")
+        generator = _TaskGenerator(rng, unit_index)
+        sources[unit_name] = generator.render_unit(per_unit[unit_index])
+        names.extend((unit_name, task) for task in per_unit[unit_index])
+    return MultiFunctionWorkload(
+        sources=sources, functions=sorted(names), seed=seed
+    )

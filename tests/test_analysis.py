@@ -6,6 +6,7 @@ from repro.analysis import (
     Direction,
     DataflowProblem,
     analyze_ranges,
+    analyze_ranges_reference,
     analyze_relevance,
     block_liveness,
     block_use_def,
@@ -207,6 +208,33 @@ class TestRangeAnalysis:
         analyzed, cfg = build("int a; int b; void f(void) { a = 1; b = 0; if (b) { a = 2; } }")
         result = analyze_ranges(cfg, analyzed.table("f"))
         assert result.total_state_bits(["a", "b"]) <= 32
+
+
+class TestRangeAnalysisReferenceCrossCheck:
+    """The cached-RPO fixpoint must match the seed-era iteration exactly."""
+
+    @staticmethod
+    def assert_equal_results(analyzed, function_name: str) -> None:
+        cfg = build_cfg(analyzed.program.function(function_name))
+        table = analyzed.table(function_name)
+        optimised = analyze_ranges(cfg, table)
+        reference = analyze_ranges_reference(cfg, table)
+        assert optimised.global_ranges == reference.global_ranges
+        assert set(optimised.block_entry) == set(reference.block_entry)
+        for block_id, env in optimised.block_entry.items():
+            assert env == reference.block_entry[block_id], f"block {block_id}"
+
+    def test_branching_program(self, branching_program):
+        self.assert_equal_results(branching_program, "classify")
+
+    def test_loop_program_with_widening(self, small_loop_program):
+        self.assert_equal_results(small_loop_program, "accumulate")
+
+    def test_figure1(self, figure1):
+        self.assert_equal_results(figure1, "main")
+
+    def test_wiper_case_study(self, wiper_code, wiper_function_name):
+        self.assert_equal_results(wiper_code.analyzed, wiper_function_name)
 
 
 class TestRelevance:
