@@ -62,6 +62,21 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     assert pipeline["modelcheck_queries"] > 0
     assert sum(pipeline["modelcheck_verdicts"].values()) == pipeline["modelcheck_queries"]
 
+    # the call-graph scheduling section: multiple waves, summaries reused,
+    # and a warm cache pass that hits for every function
+    callgraph = report["callgraph"]
+    assert callgraph["waves"] > 1
+    assert callgraph["summary_reuse_calls"] > 0
+    assert callgraph["cache_warm_misses"] == 0
+    assert callgraph["cache_warm_hits"] == callgraph["functions"]
+    for key in (
+        "callgraph_flat",
+        "callgraph_interprocedural",
+        "callgraph_cache_cold",
+        "callgraph_cache_warm",
+    ):
+        assert timings[key] >= 0.0, key
+
     # the report on disk is the artefact future PRs diff against
     on_disk = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
     assert on_disk["speedup"]["combined"] == report["speedup"]["combined"]

@@ -15,8 +15,13 @@ tooling:
 
 ``repro-wcet project FILE... --jobs N``
     batch-analyse every function of one or many source files through the
-    project orchestration layer (process-pool parallelism, persistent result
-    cache); ``--demo`` runs the synthetic multi-function workload instead.
+    project orchestration layer: interprocedural call-graph scheduling
+    (callees before callers, callee bounds charged at call sites),
+    process-pool parallelism and a persistent result cache keyed by
+    transitive fingerprints.  ``--demo`` runs the synthetic multi-function
+    workload, ``--demo-calls`` the call-chain/diamond workload;
+    ``--call-graph`` prints the resolved call graph with waves and
+    diagnostics, ``--no-interprocedural`` restores the flat PR 2 behaviour.
 
 ``repro-wcet bench``
     time the pipeline hot paths (dataflow, partitioning, model checking) on
@@ -79,18 +84,29 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
 def _cmd_project(args: argparse.Namespace) -> int:
     from .project import Project, ProjectScheduler, ResultCache
 
-    if args.demo:
-        if args.files:
+    if args.demo or args.demo_calls:
+        if args.demo and args.demo_calls:
             print(
-                "error: --demo and source files are mutually exclusive",
+                "error: --demo and --demo-calls are mutually exclusive",
                 file=sys.stderr,
             )
             return 2
-        from .workloads.multi import generate_multi_function_workload
+        if args.files:
+            print(
+                "error: --demo/--demo-calls and source files are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        if args.demo_calls:
+            from .workloads.multi import generate_call_chain_workload
 
-        workload = generate_multi_function_workload(
-            seed=args.demo_seed, functions=args.demo_functions
-        )
+            workload = generate_call_chain_workload(seed=args.demo_seed)
+        else:
+            from .workloads.multi import generate_multi_function_workload
+
+            workload = generate_multi_function_workload(
+                seed=args.demo_seed, functions=args.demo_functions
+            )
         project = Project.from_sources(workload.sources)
     elif args.files:
         project = Project.from_paths(args.files)
@@ -112,8 +128,23 @@ def _cmd_project(args: argparse.Namespace) -> int:
         cache=cache,
         workers=args.jobs,
         only=args.functions,
+        interprocedural=not args.no_interprocedural,
+        unknown_call_cycles=args.unknown_call_cycles,
     )
+    if args.no_interprocedural:
+        for flag, value in (
+            ("--call-graph", args.call_graph),
+            ("--unknown-call-cycles", args.unknown_call_cycles is not None),
+        ):
+            if value:
+                print(
+                    f"note: {flag} has no effect with --no-interprocedural "
+                    "(no call graph is built in flat mode)",
+                    file=sys.stderr,
+                )
     report = scheduler.run()
+    if args.call_graph and scheduler.callgraph is not None:
+        print(scheduler.callgraph.to_text())
     print(report.to_text())
     if args.json_output:
         report.write_json(args.json_output)
@@ -176,11 +207,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyse the synthetic multi-function workload instead of files",
     )
     project.add_argument(
+        "--demo-calls", action="store_true",
+        help="analyse the synthetic call-chain workload (3-deep chain, "
+        "diamond, cross-unit calls) instead of files",
+    )
+    project.add_argument(
         "--demo-functions", type=int, default=4,
         help="number of generated functions with --demo (default 4)",
     )
     project.add_argument(
         "--demo-seed", type=int, default=2005, help="workload generator seed"
+    )
+    project.add_argument(
+        "--call-graph", action="store_true",
+        help="also print the resolved call graph (waves, cycles, diagnostics)",
+    )
+    project.add_argument(
+        "--no-interprocedural", action="store_true",
+        help="disable call-graph scheduling and callee summary reuse "
+        "(flat job graph, content-only cache keys)",
+    )
+    project.add_argument(
+        "--unknown-call-cycles", type=int, default=None, metavar="CYCLES",
+        help="pessimistic charge for unsummarisable project calls "
+        "(recursion cycles); default: repro.callgraph default",
     )
     project.add_argument(
         "--function", action="append", dest="functions", metavar="NAME",

@@ -13,6 +13,7 @@ readings of every instrumentation point that fired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..cfg.builder import build_all_cfgs
 from ..cfg.graph import ControlFlowGraph
@@ -51,11 +52,16 @@ class EvaluationBoard:
         analyzed: AnalyzedProgram,
         cost_model: CostModel = HCS12_COST_MODEL,
         max_steps: int = 1_000_000,
+        stub_functions: Iterable[str] = (),
     ):
         self._analyzed = analyzed
         self._cfgs = build_all_cfgs(analyzed.program)
         self._interpreter = Interpreter(
-            analyzed, cost_model=cost_model, cfgs=self._cfgs, max_steps=max_steps
+            analyzed,
+            cost_model=cost_model,
+            cfgs=self._cfgs,
+            max_steps=max_steps,
+            stub_functions=stub_functions,
         )
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ external functions only consume cycles.  Execution is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..cfg.builder import build_all_cfgs
 from ..cfg.graph import ControlFlowGraph, Edge, EdgeKind, TerminatorKind
@@ -117,6 +118,7 @@ class Interpreter:
         cost_model: CostModel = HCS12_COST_MODEL,
         cfgs: dict[str, ControlFlowGraph] | None = None,
         max_steps: int = 1_000_000,
+        stub_functions: "Iterable[str]" = (),
     ):
         self._analyzed = analyzed
         self._program = analyzed.program
@@ -124,6 +126,11 @@ class Interpreter:
         self._cfgs = cfgs if cfgs is not None else build_all_cfgs(analyzed.program)
         self._max_steps = max_steps
         self._defined = {func.name for func in analyzed.program.functions}
+        #: defined functions treated as opaque external calls: their body is
+        #: not executed and each call is charged the cost model's external
+        #: cost for the name instead.  The interprocedural analysis uses this
+        #: to replace already-summarised callees with their WCET bound.
+        self._stubbed = set(stub_functions)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -416,7 +423,7 @@ class Interpreter:
     ) -> int:
         state.cycles += self._cost.call_overhead
         argument_values = [self._evaluate(arg, environment, state) for arg in expr.args]
-        if expr.name not in self._defined:
+        if expr.name not in self._defined or expr.name in self._stubbed:
             state.cycles += self._cost.external_call_cost(expr.name)
             return 0
         callee = self._program.function(expr.name)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from . import ast_nodes as ast
 from .ast_nodes import Program
+from .calls import call_sites, called_names
 from .errors import LexerError, MiniCError, ParseError, SemanticError, SourceLocation
 from .folding import fold_expr
 from .lexer import Lexer, tokenize
@@ -39,6 +40,8 @@ from .types import (
 __all__ = [
     "ast",
     "Program",
+    "call_sites",
+    "called_names",
     "LexerError",
     "MiniCError",
     "ParseError",

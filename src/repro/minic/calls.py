@@ -1,0 +1,30 @@
+"""Call-site extraction helpers over the mini-C AST.
+
+The interprocedural layer (:mod:`repro.callgraph`) needs to know which
+functions a function body may call and how many syntactic call sites each
+callee has.  These helpers are the single place that knowledge is computed:
+a pre-order :meth:`~repro.minic.ast_nodes.Node.walk` over the function
+definition, collecting every :class:`~repro.minic.ast_nodes.CallExpr` --
+including calls buried in conditions, initialisers and nested expressions.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import CallExpr, FunctionDef, Node
+
+
+def call_sites(root: Node) -> list[CallExpr]:
+    """Every :class:`CallExpr` under *root*, in pre-order (source order)."""
+    return [node for node in root.walk() if isinstance(node, CallExpr)]
+
+
+def called_names(function: FunctionDef) -> dict[str, int]:
+    """Callee name -> number of syntactic call sites in *function*.
+
+    The mapping preserves first-appearance order, which keeps downstream
+    reports and fingerprints deterministic without re-sorting.
+    """
+    counts: dict[str, int] = {}
+    for site in call_sites(function):
+        counts[site.name] = counts.get(site.name, 0) + 1
+    return counts

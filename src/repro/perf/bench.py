@@ -13,7 +13,11 @@ Times the whole-pipeline trajectory on the synthetic applications:
   application, plus a deterministic batch of block-reachability queries on
   the *small* synthetic application (deep queries on the 857-block function
   take minutes, which is a workload for the project scheduler, not for a
-  tier-1 benchmark).
+  tier-1 benchmark);
+* **call-graph scheduling** (since ``repro-bench-perf/3``) -- the project
+  scheduler on the call-chain workload: flat (one wave, PR 2 behaviour)
+  versus interprocedural (dependency waves + callee summary reuse), plus a
+  cold-write/warm-hit pass over the persistent result cache.
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -37,7 +41,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/2"
+BENCH_SCHEMA = "repro-bench-perf/3"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -155,6 +159,88 @@ def _bench_pipeline_stages(
     return timings, details
 
 
+def _bench_callgraph_scheduling(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time call-graph scheduling on the call-chain workload.
+
+    Single-shot timings (the scheduler itself amortises its costs over the
+    per-function pipeline runs): a flat one-wave batch, the interprocedural
+    multi-wave batch with callee summary reuse, then a cold cache-filling
+    pass and a warm fully-cached pass.  The workload stays tiny and the
+    exhaustive end-to-end comparison is disabled so the section remains a
+    tier-1-sized measurement.
+    """
+    import tempfile
+
+    from ..pipeline.analyzer import AnalyzerConfig
+    from ..project import Project, ProjectScheduler, ResultCache
+    from ..testgen.hybrid import HybridOptions
+    from ..workloads.multi import generate_call_chain_workload
+
+    workload = generate_call_chain_workload(seed=seed)
+    project = Project.from_sources(workload.sources)
+
+    def config() -> AnalyzerConfig:
+        return AnalyzerConfig(
+            path_bound=2,
+            hybrid=HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1),
+            extra_random_vectors=5,
+            exhaustive_limit=None,
+        )
+
+    flat_s, flat = _best_of(
+        1,
+        lambda: ProjectScheduler(
+            project, config=config(), interprocedural=False
+        ).run(),
+    )
+    interproc_s, interproc = _best_of(
+        1, lambda: ProjectScheduler(project, config=config()).run()
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "cache"
+        cold_s, _ = _best_of(
+            1,
+            lambda: ProjectScheduler(
+                project, config=config(), cache=ResultCache(cache_dir)
+            ).run(),
+        )
+        warm_s, warm = _best_of(
+            1,
+            lambda: ProjectScheduler(
+                project, config=config(), cache=ResultCache(cache_dir)
+            ).run(),
+        )
+
+    bounds = {
+        summary.function: {
+            "flat": next(
+                s.wcet_bound_cycles
+                for s in flat.functions
+                if (s.unit, s.function) == (summary.unit, summary.function)
+            ),
+            "interprocedural": summary.wcet_bound_cycles,
+        }
+        for summary in interproc.functions
+        if summary.summarised_call_sites
+    }
+    timings = {
+        "callgraph_flat": flat_s,
+        "callgraph_interprocedural": interproc_s,
+        "callgraph_cache_cold": cold_s,
+        "callgraph_cache_warm": warm_s,
+    }
+    details = {
+        "workload_seed": workload.seed,
+        "functions": len(interproc.functions),
+        "waves": interproc.waves,
+        "summary_reuse_calls": interproc.summary_reuse_calls,
+        "cache_warm_hits": warm.cache_hits,
+        "cache_warm_misses": warm.cache_misses,
+        "bounds_with_summaries": bounds,
+    }
+    return timings, details
+
+
 def run_perf_bench(
     seed: int = 2005,
     repeats: int = 3,
@@ -229,6 +315,7 @@ def run_perf_bench(
     pipeline_timings, pipeline_details = _bench_pipeline_stages(
         app, small_app, repeats
     )
+    callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
 
     liveness_iterations = bitset_block_liveness(cfg).iterations
     reaching_iterations = bitset_reaching_definitions(cfg).iterations
@@ -254,6 +341,7 @@ def run_perf_bench(
             "ranges_optimised": ranges_s,
             "optimised_cold_first_run": cold_seconds,
             **pipeline_timings,
+            **callgraph_timings,
         },
         "speedup": {
             "liveness": reference_liveness_s / max(optimised_liveness_s, 1e-9),
@@ -266,6 +354,7 @@ def run_perf_bench(
             "reaching_bitset": reaching_iterations,
         },
         "pipeline": pipeline_details,
+        "callgraph": callgraph_details,
         "results_match": results_match,
         "repeats": repeats,
         "global_ranges_variables": len(ranges_result.global_ranges),
@@ -326,6 +415,22 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{'mc queries (small)':<22} {'-':>12} "
             f"{timings['modelcheck_queries_small']:>11.4f}s "
             f"({pipeline['modelcheck_queries']} queries: {verdicts})",
+        ]
+    callgraph = report.get("callgraph")
+    if callgraph:
+        lines += [
+            "call-graph scheduling (call-chain workload, "
+            f"{callgraph['functions']} functions):",
+            f"{'project flat (1 wave)':<22} {'-':>12} "
+            f"{timings['callgraph_flat']:>11.4f}s",
+            f"{'project interproc':<22} {'-':>12} "
+            f"{timings['callgraph_interprocedural']:>11.4f}s "
+            f"({callgraph['waves']} waves, "
+            f"{callgraph['summary_reuse_calls']} summarised call sites)",
+            f"{'cache cold / warm':<22} "
+            f"{timings['callgraph_cache_cold']:>11.4f}s "
+            f"{timings['callgraph_cache_warm']:>11.4f}s "
+            f"({callgraph['cache_warm_hits']} warm hits)",
         ]
     if "output_path" in report:
         lines.append(f"report written to {report['output_path']}")

@@ -20,7 +20,9 @@ The result is a :class:`~repro.wcet.report.WcetReport`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..cfg.builder import build_cfg
 from ..hw.board import EvaluationBoard
@@ -28,6 +30,7 @@ from ..hw.cost_model import CostModel, HCS12_COST_MODEL
 from ..measurement.database import MeasurementDatabase
 from ..measurement.runner import MeasurementRunner
 from ..minic import AnalyzedProgram, parse_and_analyze
+from ..minic.calls import call_sites
 from ..partition.general import GeneralPartitionOptions, GeneralPartitioner
 from ..partition.instrument import build_instrumentation_plan
 from ..partition.partitioner import PaperPartitioner, PartitionOptions
@@ -72,19 +75,50 @@ class WcetAnalyzer:
         analyzed: AnalyzedProgram,
         function_name: str,
         config: AnalyzerConfig | None = None,
+        callee_bounds: Mapping[str, int] | None = None,
     ):
+        """``callee_bounds`` enables the interprocedural (compositional) mode.
+
+        It maps callee names to their already-computed WCET bounds (see
+        :mod:`repro.callgraph.summaries`).  Each listed callee is treated as
+        opaque during measurement: the board does not execute its body but
+        charges ``call_overhead + bound`` cycles per call -- the callee's
+        worst case, not the cycles one particular invocation would take --
+        so the resulting caller bound composes over the call graph.  The
+        function under analysis may itself appear in the mapping (direct
+        recursion): its top-level activation runs normally while nested
+        self-calls are charged the given bound.  The exhaustive end-to-end
+        verification runs on an unstubbed board, so same-unit callees
+        execute for real and the safety comparison is honest for them;
+        callees defined in *other* units are outside this unit's program
+        and fall back to the external-call cost there, and recursive
+        programs should disable the comparison (``exhaustive_limit=None``
+        -- the project scheduler does so automatically for jobs on a
+        recursion cycle), as real recursion does not terminate on the
+        bounded interpreter.
+        """
         self._analyzed = analyzed
         self._function = function_name
         self._config = config or AnalyzerConfig()
+        self._callee_bounds = dict(callee_bounds or {})
         if not any(f.name == function_name for f in analyzed.program.functions):
             raise AnalysisError(f"program has no function {function_name!r}")
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_source(
-        cls, source: str, function_name: str, config: AnalyzerConfig | None = None
+        cls,
+        source: str,
+        function_name: str,
+        config: AnalyzerConfig | None = None,
+        callee_bounds: Mapping[str, int] | None = None,
     ) -> "WcetAnalyzer":
-        return cls(parse_and_analyze(source), function_name, config)
+        return cls(
+            parse_and_analyze(source),
+            function_name,
+            config,
+            callee_bounds=callee_bounds,
+        )
 
     # ------------------------------------------------------------------ #
     def analyze(self) -> WcetReport:
@@ -107,10 +141,16 @@ class WcetAnalyzer:
         else:
             raise AnalysisError(f"unknown partitioner {config.partitioner!r}")
 
-        # 2. instrumentation plan + simulated board
+        # 2. instrumentation plan + simulated board; with callee summaries the
+        #    measurement board stubs every summarised callee and charges its
+        #    WCET bound through the cost model's external-call table
         plan = build_instrumentation_plan(partition, cfg)
+        cost_model = self._measurement_cost_model()
         board = EvaluationBoard(
-            self._analyzed, cost_model=config.cost_model, max_steps=config.max_steps_per_run
+            self._analyzed,
+            cost_model=cost_model,
+            max_steps=config.max_steps_per_run,
+            stub_functions=sorted(self._callee_bounds),
         )
 
         # 3. hybrid test-data generation
@@ -141,11 +181,24 @@ class WcetAnalyzer:
             cfg,
             partition,
             default_loop_bound=config.partition_options.default_loop_bound or 1,
+            callee_bounds=self._callee_bounds,
+            call_overhead=cost_model.call_overhead,
         )
         bound = schema.compute(database, unreachable_segments=unreachable)
 
-        # 6. optional exhaustive end-to-end comparison
-        end_to_end = self._maybe_exhaustive(board, generator.input_space)
+        # 6. optional exhaustive end-to-end comparison; the verification board
+        #    executes the *real* callee bodies (no stubs), so a summarised
+        #    bound is checked against genuine end-to-end behaviour
+        verification_board = board
+        if self._callee_bounds:
+            verification_board = EvaluationBoard(
+                self._analyzed,
+                cost_model=config.cost_model,
+                max_steps=config.max_steps_per_run,
+            )
+        end_to_end = self._maybe_exhaustive(
+            verification_board, generator.input_space
+        )
 
         return WcetReport(
             function_name=self._function,
@@ -156,6 +209,8 @@ class WcetAnalyzer:
             end_to_end=end_to_end,
             test_vectors_used=len(vectors),
             infeasible_paths=len(suite.infeasible_targets),
+            callee_bounds_used=dict(sorted(self._callee_bounds.items())),
+            summarised_call_sites=self._summarised_site_count(function),
             generator_statistics={
                 "random_targets": len(suite.targets_by_source(CoverageSource.RANDOM)),
                 "genetic_targets": len(suite.targets_by_source(CoverageSource.GENETIC)),
@@ -167,6 +222,28 @@ class WcetAnalyzer:
                 "genetic_evaluations": suite.genetic_evaluations,
                 "random_vectors_used": suite.random_vectors_used,
             },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _measurement_cost_model(self) -> CostModel:
+        """The config's cost model, with callee bounds as external-call costs."""
+        base = self._config.cost_model
+        if not self._callee_bounds:
+            return base
+        return dataclasses.replace(
+            base,
+            external_call_cycles={
+                **base.external_call_cycles,
+                **self._callee_bounds,
+            },
+        )
+
+    def _summarised_site_count(self, function) -> int:
+        """Syntactic call sites of *function* charged with a callee summary."""
+        return sum(
+            1
+            for site in call_sites(function)
+            if site.name in self._callee_bounds
         )
 
     # ------------------------------------------------------------------ #
@@ -205,7 +282,12 @@ class WcetAnalyzer:
 
 
 def analyze_source(
-    source: str, function_name: str, config: AnalyzerConfig | None = None
+    source: str,
+    function_name: str,
+    config: AnalyzerConfig | None = None,
+    callee_bounds: Mapping[str, int] | None = None,
 ) -> WcetReport:
     """Convenience wrapper: parse *source* and analyse *function_name*."""
-    return WcetAnalyzer.from_source(source, function_name, config).analyze()
+    return WcetAnalyzer.from_source(
+        source, function_name, config, callee_bounds=callee_bounds
+    ).analyze()

@@ -10,13 +10,19 @@ industrial WCET tool must:
   function, each with a content fingerprint over its file-scope environment
   and pretty-printed body.
 * :mod:`repro.project.scheduler` -- :class:`ProjectScheduler` runs the
-  functions as a job graph, serially or on a process pool
-  (``workers=N``); results are bit-identical either way because every
-  pipeline phase is seeded by the :class:`AnalyzerConfig`.  Pool failures
-  fall back to serial execution instead of failing the batch.
+  functions as a job graph in topological *dependency waves* over the
+  project call graph (:mod:`repro.callgraph`): callees are analysed before
+  their callers and each completed callee's WCET bound is charged at the
+  caller's call sites (callee summary reuse).  Waves run serially or on a
+  process pool (``workers=N``); results are bit-identical either way
+  because every pipeline phase is seeded by the :class:`AnalyzerConfig`
+  and callee bounds are fixed before a wave starts.  Pool failures fall
+  back to serial execution (with the reason recorded in the report)
+  instead of failing the batch.
 * :mod:`repro.project.cache` -- :class:`ResultCache` persists per-function
-  summaries on disk, keyed by SHA-256 of (function content, analyzer
-  config), so re-runs skip unchanged functions.
+  summaries on disk, keyed by SHA-256 of (transitive function content,
+  analyzer config): editing a leaf callee invalidates exactly the leaf
+  plus its transitive callers, and re-runs skip everything unchanged.
 * :mod:`repro.project.report` -- :class:`ProjectReport` aggregates the
   per-function summaries with cache hit/miss and scheduling statistics, as
   text or JSON.

@@ -4,8 +4,13 @@ Results are keyed by a SHA-256 over three components:
 
 * the cache schema version (bumping :data:`CACHE_SCHEMA` invalidates
   everything after an incompatible format change),
-* the function's content fingerprint (file-scope environment + pretty-printed
-  body, see :func:`repro.project.model.function_fingerprint`), and
+* the function's *transitive* fingerprint -- its content fingerprint
+  (file-scope environment + pretty-printed body, see
+  :func:`repro.project.model.function_fingerprint`) closed over the content
+  of every resolved callee (see
+  :meth:`repro.callgraph.graph.CallGraph.transitive_fingerprints`), so
+  editing a leaf callee invalidates exactly the leaf plus its transitive
+  callers -- and
 * the fingerprint of the :class:`~repro.pipeline.analyzer.AnalyzerConfig`.
 
 Each entry is one small JSON file ``<root>/<key[:2]>/<key>.json`` holding a
@@ -30,8 +35,9 @@ from ..pipeline.analyzer import AnalyzerConfig
 from .model import config_fingerprint
 from .report import FunctionSummary
 
-#: schema tag stored in (and required of) every cache entry
-CACHE_SCHEMA = "repro-project-cache/1"
+#: schema tag stored in (and required of) every cache entry; /2 added the
+#: interprocedural summary fields and switched keys to transitive fingerprints
+CACHE_SCHEMA = "repro-project-cache/2"
 
 
 class ResultCache:

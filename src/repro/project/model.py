@@ -5,11 +5,14 @@ translation units.  Each unit is parsed and semantically analysed once
 (:class:`SourceUnit`), and every defined function becomes one analyzable
 :class:`ProjectFunction` with a *content fingerprint*: a SHA-256 hash over
 the unit's file-scope environment (pragmas, externals, globals) and the
-pretty-printed function body.  The fingerprint -- combined with the
-fingerprint of the :class:`~repro.pipeline.analyzer.AnalyzerConfig` -- keys
-the persistent result cache (:mod:`repro.project.cache`), so editing one
-function invalidates only that function's cached result while its siblings
-in the same file stay warm.
+pretty-printed function body.  The call-graph layer closes these content
+fingerprints over resolved callees into *transitive fingerprints*
+(:meth:`repro.callgraph.graph.CallGraph.transitive_fingerprints`), which --
+combined with the fingerprint of the
+:class:`~repro.pipeline.analyzer.AnalyzerConfig` -- key the persistent
+result cache (:mod:`repro.project.cache`): editing one function invalidates
+its own cached result and those of its transitive callers, while siblings
+in the same file and unrelated functions stay warm.
 """
 
 from __future__ import annotations

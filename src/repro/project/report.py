@@ -19,7 +19,7 @@ from typing import Any
 from ..wcet.report import WcetReport
 
 #: schema tag of the JSON project report
-PROJECT_REPORT_SCHEMA = "repro-project-report/1"
+PROJECT_REPORT_SCHEMA = "repro-project-report/2"
 
 
 @dataclass
@@ -42,6 +42,16 @@ class FunctionSummary:
     safe: bool
     critical_segments: list[int] = field(default_factory=list)
     generator_statistics: dict[str, int] = field(default_factory=dict)
+    #: qualified names (unit:function) of the resolved project callees
+    callees: list[str] = field(default_factory=list)
+    #: callee name -> WCET bound charged per call site (interprocedural mode)
+    callee_bounds_used: dict[str, int] = field(default_factory=dict)
+    #: syntactic call sites charged with a callee summary
+    summarised_call_sites: int = 0
+    #: dependency wave the function was scheduled on (0 = leaf callees)
+    wave: int = 0
+    #: content fingerprint closed over resolved callees (the cache-key basis)
+    transitive_fingerprint: str = ""
     #: result-cache key this summary is stored under ("" when caching is off)
     cache_key: str = ""
     #: True when the summary was loaded from the cache instead of computed
@@ -69,6 +79,8 @@ class FunctionSummary:
             safe=report.is_safe(),
             critical_segments=sorted(report.bound.critical_segments),
             generator_statistics=dict(report.generator_statistics),
+            callee_bounds_used=dict(report.callee_bounds_used),
+            summarised_call_sites=report.summarised_call_sites,
             cache_key=cache_key,
         )
 
@@ -113,10 +125,18 @@ class ProjectReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_dir: str | None = None
-    #: "serial", "process-pool", or "serial-fallback" (a pool was started
-    #: but died / could not pickle, and the rest of the batch ran serially)
+    #: "serial", "process-pool", or "serial-fallback" (a pool could not be
+    #: created or died / could not pickle, and the batch ran serially)
     mode: str = "serial"
+    #: why the scheduler fell back to serial execution (None = no fallback)
+    fallback_reason: str | None = None
     workers: int = 1
+    #: number of dependency waves the job graph was executed in
+    waves: int = 1
+    #: total call sites charged with a reused callee summary across the batch
+    summary_reuse_calls: int = 0
+    #: call-graph export (functions, edges, waves, cycles, diagnostics)
+    callgraph: dict[str, Any] | None = None
     elapsed_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -167,8 +187,14 @@ class ProjectReport:
             },
             "execution": {
                 "mode": self.mode,
+                "fallback_reason": self.fallback_reason,
                 "workers": self.workers,
+                "waves": self.waves,
                 "elapsed_seconds": self.elapsed_seconds,
+            },
+            "interprocedural": {
+                "summary_reuse_calls": self.summary_reuse_calls,
+                "callgraph": self.callgraph,
             },
             "functions": [summary.to_dict() for summary in self.functions],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -184,7 +210,12 @@ class ProjectReport:
         lines = [
             f"Project WCET report: {self.total_functions} function(s)",
             f"  execution mode            : {self.mode} ({self.workers} worker(s), "
-            f"{self.elapsed_seconds:.2f}s)",
+            f"{self.waves} wave(s), {self.elapsed_seconds:.2f}s)",
+        ]
+        if self.fallback_reason:
+            lines.append(f"  serial fallback reason    : {self.fallback_reason}")
+        lines += [
+            f"  callee summaries reused   : {self.summary_reuse_calls} call site(s)",
             f"  result cache              : {self.cache_hits} hit(s), "
             f"{self.cache_misses} miss(es)"
             + (f" in {self.cache_dir}" if self.cache_dir else " (disabled)"),
@@ -196,8 +227,8 @@ class ProjectReport:
             "  per-function results:",
         ]
         header = (
-            f"    {'unit':<16} {'function':<16} {'seg':>4} {'ip':>5} {'runs':>6} "
-            f"{'bound':>7} {'measured':>9} {'safe':>5} {'cache':>6}"
+            f"    {'unit':<16} {'function':<16} {'wave':>4} {'seg':>4} {'ip':>5} "
+            f"{'runs':>6} {'bound':>7} {'measured':>9} {'safe':>5} {'cache':>6}"
         )
         lines.append(header)
         for summary in self.functions:
@@ -208,6 +239,7 @@ class ProjectReport:
             )
             lines.append(
                 f"    {summary.unit:<16} {summary.function:<16} "
+                f"{summary.wave:>4} "
                 f"{summary.segments:>4} {summary.instrumentation_points:>5} "
                 f"{summary.measurement_runs:>6} {summary.wcet_bound_cycles:>7} "
                 f"{measured:>9} {str(summary.safe):>5} "

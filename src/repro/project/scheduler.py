@@ -1,32 +1,45 @@
 """Job-graph scheduler driving :class:`WcetAnalyzer` over a whole project.
 
-Every analyzable function becomes one :class:`AnalysisJob`.  The scheduler
-first probes the persistent result cache (:mod:`repro.project.cache`); the
-remaining jobs are executed either serially in-process or on a
-``concurrent.futures.ProcessPoolExecutor``.  The analysis is fully seeded
-(random, genetic and model-checking phases all derive from the
-:class:`~repro.pipeline.analyzer.AnalyzerConfig`), so serial and parallel
-runs produce bit-identical :class:`~repro.project.report.FunctionSummary`
-payloads -- the scheduler only changes *where* a job runs, never *what* it
-computes.  If the process pool cannot be created or dies (sandboxed
-environments, pickling restrictions), the scheduler falls back to serial
-execution (report ``mode`` = ``"serial-fallback"``) and records
-``project.scheduler.pool_fallbacks`` in the perf registry rather than
-failing the batch.
+Every analyzable function becomes one :class:`AnalysisJob`.  In the default
+interprocedural mode the scheduler builds the project call graph
+(:mod:`repro.callgraph`), orders the jobs into topological *dependency
+waves* -- callees before callers -- and feeds each completed callee's WCET
+bound into its callers as a :class:`~repro.callgraph.summaries.CalleeSummary`:
+the caller's measurement charges every summarised call site
+``call_overhead + callee bound`` instead of guessing a library cost.  Calls
+that cannot be summarised (recursion cycles, ambiguous names) are charged
+the pessimistic unknown-call cost, and callees whose stubbing would be
+unsound -- the caller uses their return value or reads globals they write
+-- are inlined on the caller's board instead; both cases are reported as
+call-graph diagnostics.
 
-Jobs carry an optional dependency list and run in topological waves; today
-every function analysis is independent (one wave), but cross-function
-dependencies (e.g. analysing callees before callers to reuse their bounds)
-plug into the same mechanism.
+Result caching keys on *transitive fingerprints* (the function's content
+hash closed over its resolved callees), so editing a leaf callee invalidates
+exactly the leaf plus its transitive callers while unrelated functions stay
+warm.
+
+Within a wave the scheduler first probes the persistent result cache
+(:mod:`repro.project.cache`); the remaining jobs are executed either
+serially in-process or on a ``concurrent.futures.ProcessPoolExecutor``.  The
+analysis is fully seeded (random, genetic and model-checking phases all
+derive from the :class:`~repro.pipeline.analyzer.AnalyzerConfig`) and callee
+bounds are fixed before a wave starts, so serial and parallel runs produce
+bit-identical :class:`~repro.project.report.FunctionSummary` payloads -- the
+scheduler only changes *where* a job runs, never *what* it computes.  If the
+process pool cannot be created or dies (sandboxed environments, pickling
+restrictions), the scheduler falls back to serial execution and records the
+reason in ``ProjectReport.fallback_reason`` and the perf registry
+(``project.scheduler.pool_fallback.*``) rather than failing the batch.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import enum
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import perf
 from ..minic import parse_and_analyze
@@ -53,23 +66,62 @@ class AnalysisJob:
     cache_key: str = ""
     #: job ids that must complete before this job may run
     deps: tuple[int, ...] = ()
+    #: dependency wave the job runs on (assigned by the scheduler)
+    wave: int = 0
+    #: call name -> qualified name of the resolved project callee
+    resolved_map: dict[str, str] = field(default_factory=dict)
+    #: call names that resolve into the job's own recursion cycle
+    cyclic_call_names: tuple[str, ...] = ()
+    #: resolved call names that must be inlined instead of summarised
+    #: (return value used / global coupling; see the call-graph diagnostics)
+    unsummarisable: tuple[str, ...] = ()
+    #: call names whose definition is ambiguous across units (charged the
+    #: pessimistic unknown-call cost)
+    ambiguous_call_names: tuple[str, ...] = ()
+    #: True when the job's resolved call closure contains a recursion cycle
+    #: (the exhaustive end-to-end comparison is disabled for such jobs)
+    reaches_recursion: bool = False
+    #: call name -> syntactic site count in the function body
+    site_counts: dict[str, int] = field(default_factory=dict)
+    #: the job's own call sites charged with a genuine callee summary
+    #: (pessimistic recursion/ambiguity charges excluded)
+    summary_sites: int = 0
+    #: content fingerprint closed over resolved callees (keys the cache)
+    transitive_fingerprint: str = ""
+    #: call name -> WCET bound charged per call site (fixed per wave)
+    callee_bounds: dict[str, int] = field(default_factory=dict)
     state: JobState = JobState.PENDING
     summary: FunctionSummary | None = None
     error: str | None = None
 
+    @property
+    def qualified_name(self) -> str:
+        return self.function.qualified_name
+
+    @property
+    def resolved_callees(self) -> tuple[str, ...]:
+        """Resolved callee qualified names, sorted and deduplicated."""
+        return tuple(sorted(set(self.resolved_map.values())))
+
 
 def _execute_analysis(
-    unit_name: str, source: str, function_name: str, config: AnalyzerConfig
+    unit_name: str,
+    source: str,
+    function_name: str,
+    config: AnalyzerConfig,
+    callee_bounds: dict[str, int],
 ) -> tuple[dict, float]:
     """Analyse one function from its unit source; return (summary dict, seconds).
 
     Module-level so it pickles into process-pool workers; the worker re-parses
     the unit from source, which keeps the inter-process payload to plain
-    strings plus the (picklable, dataclass-only) config.
+    strings plus the (picklable, dataclass-only) config and bound mapping.
     """
     started = time.perf_counter()
     analyzed = parse_and_analyze(source, filename=unit_name)
-    report = WcetAnalyzer(analyzed, function_name, config).analyze()
+    report = WcetAnalyzer(
+        analyzed, function_name, config, callee_bounds=callee_bounds
+    ).analyze()
     summary = FunctionSummary.from_report(unit_name, config.partitioner, report)
     return summary.to_dict(), time.perf_counter() - started
 
@@ -84,16 +136,37 @@ class ProjectScheduler:
         cache: ResultCache | None = None,
         workers: int = 1,
         only: list[str] | None = None,
+        interprocedural: bool = True,
+        unknown_call_cycles: int | None = None,
     ):
+        from ..callgraph.summaries import (
+            DEFAULT_UNKNOWN_CALL_CYCLES,
+            CalleeSummaryStore,
+        )
+
         self._project = project
         self._config = config or AnalyzerConfig()
         self._cache = cache or ResultCache.disabled()
         self._workers = max(1, int(workers))
         self._only = only
+        self._interprocedural = interprocedural
+        self._unknown_call_cycles = (
+            DEFAULT_UNKNOWN_CALL_CYCLES
+            if unknown_call_cycles is None
+            else unknown_call_cycles
+        )
+        self._summaries = CalleeSummaryStore()
         self._jobs: list[AnalysisJob] | None = None
+        #: the resolved project call graph (built lazily with the jobs;
+        #: ``None`` in flat mode)
+        self.callgraph = None
         #: execution mode of the last run ("serial", "process-pool", or
-        #: "serial-fallback" when a started pool died mid-batch)
+        #: "serial-fallback" when a pool could not be created or died)
         self.mode = "serial"
+        #: why the scheduler fell back to serial execution (None = no fallback)
+        self.fallback_reason: str | None = None
+        #: number of dependency waves executed by the last run
+        self.waves_executed = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -103,29 +176,100 @@ class ProjectScheduler:
     def jobs(self) -> list[AnalysisJob]:
         """The job graph (built once, ordered by (unit, function))."""
         if self._jobs is None:
-            self._jobs = [
+            if self._interprocedural:
+                self._jobs = self._build_interprocedural_jobs()
+            else:
+                self._jobs = [
+                    AnalysisJob(
+                        job_id=index,
+                        function=function,
+                        cache_key=self._cache.key_for(
+                            function.fingerprint, self._config
+                        ),
+                        transitive_fingerprint=function.fingerprint,
+                    )
+                    for index, function in enumerate(
+                        self._project.functions(only=self._only)
+                    )
+                ]
+        return self._jobs
+
+    def _build_interprocedural_jobs(self) -> list[AnalysisJob]:
+        """Resolve the call graph and key every job on a transitive fingerprint.
+
+        With an ``only`` filter the selection is closed over resolved callees:
+        a caller's bound cannot be computed without its callees' bounds, so
+        restricting to ``--function caller`` still analyses (or recalls from
+        cache) everything the caller transitively calls.
+        """
+        # imported lazily: repro.callgraph builds on repro.project.model, so a
+        # module-level import would be circular through the package __init__
+        from ..callgraph.graph import CallGraph
+
+        graph = CallGraph.from_project(self._project)
+        self.callgraph = graph
+        if self._only is not None:
+            functions = graph.closure(self._only)
+        else:
+            functions = graph.functions()
+        if not functions:
+            raise ProjectError("project defines no analyzable functions")
+        fingerprints = graph.transitive_fingerprints(
+            unknown_call_cycles=self._unknown_call_cycles
+        )
+        dependencies = graph.dependencies()
+        reaches_cycle = graph.reaches_cycle()
+        index_of = {
+            function.qualified_name: index
+            for index, function in enumerate(functions)
+        }
+        jobs: list[AnalysisJob] = []
+        for index, function in enumerate(functions):
+            qualified = function.qualified_name
+            node = graph.node(qualified)
+            jobs.append(
                 AnalysisJob(
                     job_id=index,
                     function=function,
-                    cache_key=self._cache.key_for(function.fingerprint, self._config),
+                    cache_key=self._cache.key_for(
+                        fingerprints[qualified], self._config
+                    ),
+                    deps=tuple(
+                        index_of[callee]
+                        for callee in dependencies[qualified]
+                        if callee in index_of
+                    ),
+                    resolved_map=dict(node.resolved),
+                    cyclic_call_names=graph.cyclic_callee_names(qualified),
+                    unsummarisable=node.unsummarisable,
+                    ambiguous_call_names=node.ambiguous,
+                    reaches_recursion=qualified in reaches_cycle,
+                    site_counts=dict(node.calls.sites),
+                    transitive_fingerprint=fingerprints[qualified],
                 )
-                for index, function in enumerate(
-                    self._project.functions(only=self._only)
-                )
-            ]
-        return self._jobs
+            )
+        return jobs
 
     # ------------------------------------------------------------------ #
     def run(self) -> ProjectReport:
-        """Execute the job graph and aggregate the project report."""
+        """Execute the job graph wave by wave and aggregate the project report."""
         started = time.perf_counter()
         jobs = self.jobs()
         perf.add("project.jobs", len(jobs))
 
         with perf.timed("project.schedule"):
-            for wave in self._waves(jobs):
-                runnable = self._probe_cache(wave)
+            waves = self._waves(jobs)
+            self.waves_executed = len(waves)
+            perf.add("project.scheduler.waves", len(waves))
+            for wave_index, wave in enumerate(waves):
+                ready: list[AnalysisJob] = []
+                for job in wave:
+                    job.wave = wave_index
+                    if not self._fail_on_broken_deps(job, jobs):
+                        ready.append(job)
+                runnable = self._probe_cache(ready)
                 self._execute(runnable)
+                self._harvest_summaries(wave)
 
         failures = [
             ProjectFailure(
@@ -137,6 +281,10 @@ class ProjectScheduler:
             if job.state is JobState.FAILED
         ]
         summaries = [job.summary for job in jobs if job.summary is not None]
+        reused_calls = sum(
+            summary.summarised_call_sites for summary in summaries
+        )
+        perf.add("project.scheduler.summary_reuse_calls", reused_calls)
         return ProjectReport(
             functions=summaries,
             failures=failures,
@@ -144,44 +292,214 @@ class ProjectScheduler:
             cache_misses=self._cache.misses,
             cache_dir=str(self._cache.root) if self._cache.root else None,
             mode=self.mode,
+            fallback_reason=self.fallback_reason,
             workers=self._workers,
+            waves=self.waves_executed,
+            summary_reuse_calls=reused_calls,
+            callgraph=self.callgraph.to_dict() if self.callgraph else None,
             elapsed_seconds=time.perf_counter() - started,
         )
 
     # ------------------------------------------------------------------ #
     @staticmethod
     def _waves(jobs: list[AnalysisJob]) -> list[list[AnalysisJob]]:
-        """Topological waves of the dependency graph (one wave today)."""
+        """Topological waves of the dependency graph (callees before callers)."""
         done: set[int] = set()
         remaining = list(jobs)
         waves: list[list[AnalysisJob]] = []
         while remaining:
             wave = [job for job in remaining if all(d in done for d in job.deps)]
             if not wave:
-                raise ProjectError("job graph contains a dependency cycle")
+                cycle = ProjectScheduler._find_dependency_cycle(remaining)
+                raise ProjectError(
+                    "job graph contains a dependency cycle: "
+                    + " -> ".join(cycle)
+                )
             waves.append(wave)
             done.update(job.job_id for job in wave)
             remaining = [job for job in remaining if job.job_id not in done]
         return waves
 
+    @staticmethod
+    def _find_dependency_cycle(remaining: list[AnalysisJob]) -> list[str]:
+        """Name the functions on one dependency cycle among *remaining* jobs."""
+        by_id = {job.job_id: job for job in remaining}
+        visited: set[int] = set()
+        for start in remaining:
+            if start.job_id in visited:
+                continue
+            path: list[int] = []
+            position: dict[int, int] = {}
+            current: AnalysisJob | None = start
+            while current is not None:
+                if current.job_id in position:
+                    cycle = path[position[current.job_id]:] + [current.job_id]
+                    return [by_id[job_id].qualified_name for job_id in cycle]
+                if current.job_id in visited:
+                    break
+                position[current.job_id] = len(path)
+                path.append(current.job_id)
+                current = next(
+                    (by_id[d] for d in current.deps if d in by_id), None
+                )
+            visited.update(path)
+        # unsatisfiable deps that point outside the job graph, not a cycle
+        return sorted(job.qualified_name for job in remaining)
+
+    def _fail_on_broken_deps(
+        self, job: AnalysisJob, jobs: list[AnalysisJob]
+    ) -> bool:
+        """Fail *job* when a callee it depends on failed; True when failed."""
+        broken = [
+            jobs[dep].qualified_name
+            for dep in job.deps
+            if jobs[dep].state is JobState.FAILED
+        ]
+        if not broken:
+            return False
+        job.state = JobState.FAILED
+        job.error = (
+            "callee analysis failed, no summary to charge: "
+            + ", ".join(sorted(broken))
+        )
+        perf.add("project.jobs_failed")
+        return True
+
+    def _callee_bounds_for(self, job: AnalysisJob) -> dict[str, int]:
+        """The per-call-name charges of one job, fixed before its wave runs.
+
+        Summarisable resolved callees charge their computed bound; calls
+        into the job's own recursion cycle and ambiguous names charge the
+        pessimistic unknown-call cost; callees flagged unsummarisable by
+        the call graph are left out entirely, so the board inlines their
+        real body (the seed behaviour) instead of stubbing it.  The map is
+        then closed over those inlined bodies: the calls *they* make keep
+        exactly the charges they had in the callee's own standalone
+        analysis, so inlining never silently downgrades an interprocedural
+        charge to the default external cost.
+        """
+        summarisable = {
+            call_name: callee
+            for call_name, callee in job.resolved_map.items()
+            if call_name not in job.unsummarisable
+        }
+        bounds = self._summaries.bounds_for(
+            summarisable,
+            cyclic_names=job.cyclic_call_names,
+            unknown_call_cycles=self._unknown_call_cycles,
+        )
+        for call_name in job.ambiguous_call_names:
+            bounds[call_name] = self._unknown_call_cycles
+        if job.unsummarisable and self.callgraph is not None:
+            frontier = [job.resolved_map[name] for name in job.unsummarisable]
+            visited: set[str] = set()
+            demanded_inline = set(job.unsummarisable)
+            while frontier:
+                qualified = frontier.pop()
+                if qualified in visited:
+                    continue
+                visited.add(qualified)
+                inlined = self.callgraph.node(qualified)
+                # names this body needs executed for real (e.g. a callee
+                # whose return value it uses) must not be stubbed on the
+                # caller's board either, even if the caller's own call to
+                # the same name could have been summarised
+                demanded_inline.update(inlined.unsummarisable)
+                inner = self._summaries.bounds_for(
+                    {
+                        call_name: callee
+                        for call_name, callee in inlined.resolved.items()
+                        if call_name not in inlined.unsummarisable
+                    },
+                    cyclic_names=self.callgraph.cyclic_callee_names(qualified),
+                    unknown_call_cycles=self._unknown_call_cycles,
+                )
+                for call_name in inlined.ambiguous:
+                    inner[call_name] = self._unknown_call_cycles
+                for call_name, bound in inner.items():
+                    bounds.setdefault(call_name, bound)
+                frontier.extend(
+                    inlined.resolved[name] for name in inlined.unsummarisable
+                )
+            for call_name in demanded_inline:
+                # never un-stub a call into the job's own recursion cycle:
+                # inlining it would not terminate
+                if call_name not in job.cyclic_call_names:
+                    bounds.pop(call_name, None)
+        return bounds
+
+    def _job_config(self, job: AnalysisJob) -> AnalyzerConfig:
+        """The analyzer config for one job.
+
+        Jobs whose call closure contains a recursion cycle -- the cycle
+        members and their transitive callers -- get the exhaustive
+        end-to-end comparison disabled: recursive calls are stubbed during
+        measurement, but the exhaustive check runs real callee bodies and
+        unbounded recursion would only die against the interpreter's step
+        budget.
+        """
+        if job.reaches_recursion and self._config.exhaustive_limit is not None:
+            return dataclasses.replace(self._config, exhaustive_limit=None)
+        return self._config
+
+    def _harvest_summaries(self, wave: list[AnalysisJob]) -> None:
+        """Feed the wave's completed bounds to the callers of later waves."""
+        from ..callgraph.summaries import CalleeSummary
+
+        for job in wave:
+            if job.summary is None:
+                continue
+            self._summaries.add(
+                CalleeSummary(
+                    qualified_name=job.qualified_name,
+                    call_name=job.function.name,
+                    wcet_bound_cycles=job.summary.wcet_bound_cycles,
+                    transitive_fingerprint=job.transitive_fingerprint,
+                    from_cache=job.summary.from_cache,
+                )
+            )
+
     def _probe_cache(self, wave: list[AnalysisJob]) -> list[AnalysisJob]:
         """Resolve cached jobs; return the ones that must actually run."""
         runnable: list[AnalysisJob] = []
         for job in wave:
+            job.callee_bounds = self._callee_bounds_for(job)
+            job.summary_sites = sum(
+                job.site_counts.get(name, 0)
+                for name in job.callee_bounds
+                if name in job.resolved_map
+                and name not in job.cyclic_call_names
+                and name not in job.ambiguous_call_names
+                and self._summaries.get(job.resolved_map[name]) is not None
+            )
             summary = self._cache.get(job.cache_key)
             if summary is not None:
-                summary.cache_key = job.cache_key
-                # the cache is content-addressed: identical functions in
-                # different units share one entry, so restore this job's
-                # identity over whatever unit/function stored the entry
-                summary.unit = job.function.unit
-                summary.function = job.function.name
+                self._adopt_identity(job, summary)
                 job.summary = summary
                 job.state = JobState.CACHED
                 perf.add("project.jobs_cached")
             else:
                 runnable.append(job)
         return runnable
+
+    @staticmethod
+    def _adopt_identity(job: AnalysisJob, summary: FunctionSummary) -> None:
+        """Restore this job's identity over whatever run stored the entry.
+
+        The cache is content-addressed: identical functions in different
+        units (or the same entry reached through a differently-filtered run)
+        share one entry, so the labels and scheduling facts are the current
+        job's, while the analysis payload is whatever the entry holds.
+        """
+        summary.cache_key = job.cache_key
+        summary.unit = job.function.unit
+        summary.function = job.function.name
+        summary.wave = job.wave
+        summary.callees = list(job.resolved_callees)
+        # the analyzer counts every interprocedurally-charged site; the
+        # reuse metric only counts the ones backed by a genuine summary
+        summary.summarised_call_sites = job.summary_sites
+        summary.transitive_fingerprint = job.transitive_fingerprint
 
     # ------------------------------------------------------------------ #
     def _execute(self, jobs: list[AnalysisJob]) -> None:
@@ -194,16 +512,29 @@ class ProjectScheduler:
         for job in remaining:
             self._execute_serial(job)
 
+    def _note_fallback(self, reason: str) -> None:
+        self.mode = "serial-fallback"
+        if self.fallback_reason is None:
+            self.fallback_reason = reason
+
     def _execute_pool(self, jobs: list[AnalysisJob]) -> list[AnalysisJob]:
-        """Run *jobs* on a process pool; return the jobs still to be executed."""
+        """Run *jobs* on a process pool; return the jobs still to be executed.
+
+        One pool is created per wave rather than per run: a wave is a full
+        submit/drain cycle anyway (callee bounds must be final before the
+        next wave submits), and a fresh pool keeps the died-pool fallback
+        path simple -- the startup cost is tiny next to a function analysis.
+        """
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(self._workers, len(jobs))
             )
         except (OSError, ValueError) as error:
             perf.add("project.scheduler.pool_fallbacks")
-            perf.add("project.scheduler.pool_errors")
-            del error
+            perf.add("project.scheduler.pool_fallback.create_failed")
+            self._note_fallback(
+                f"pool-create-failed: {type(error).__name__}: {error}"
+            )
             return jobs
         pending: dict[concurrent.futures.Future, AnalysisJob] = {}
         try:
@@ -216,7 +547,8 @@ class ProjectScheduler:
                         unit.name,
                         unit.source,
                         job.function.name,
-                        self._config,
+                        self._job_config(job),
+                        job.callee_bounds,
                     )
                     pending[future] = job
                 for future in concurrent.futures.as_completed(pending):
@@ -236,11 +568,13 @@ class ProjectScheduler:
         except (
             concurrent.futures.process.BrokenProcessPool,
             pickle.PicklingError,
-        ):
+        ) as error:
             # the pool died (fork bans, OOM-killed worker) or the config does
             # not pickle: retry the unfinished jobs serially so the batch
             # still completes
             perf.add("project.scheduler.pool_fallbacks")
+            perf.add("project.scheduler.pool_fallback.pool_died")
+            self._note_fallback(f"pool-died: {type(error).__name__}: {error}")
             survivors = [
                 job
                 for job in jobs
@@ -248,9 +582,11 @@ class ProjectScheduler:
             ]
             for job in survivors:
                 job.state = JobState.PENDING
-            self.mode = "serial-fallback"
             return survivors
-        self.mode = "process-pool"
+        if self.mode != "serial-fallback":
+            # a fallback in an earlier wave keeps the report honest even if
+            # this wave's pool came up fine
+            self.mode = "process-pool"
         return []
 
     def _execute_serial(self, job: AnalysisJob) -> None:
@@ -261,7 +597,10 @@ class ProjectScheduler:
             # reuse the unit's already-analysed AST in-process; the pipeline
             # is deterministic, so this matches the worker's re-parse exactly
             report = WcetAnalyzer(
-                unit.analyzed, job.function.name, self._config
+                unit.analyzed,
+                job.function.name,
+                self._job_config(job),
+                callee_bounds=job.callee_bounds,
             ).analyze()
         except Exception as error:
             self._fail(job, error)
@@ -275,7 +614,7 @@ class ProjectScheduler:
     def _complete(
         self, job: AnalysisJob, summary: FunctionSummary, seconds: float
     ) -> None:
-        summary.cache_key = job.cache_key
+        self._adopt_identity(job, summary)
         job.summary = summary
         job.state = JobState.DONE
         self._cache.put(job.cache_key, summary)
@@ -295,8 +634,16 @@ def analyze_project(
     cache: ResultCache | None = None,
     workers: int = 1,
     only: list[str] | None = None,
+    interprocedural: bool = True,
+    unknown_call_cycles: int | None = None,
 ) -> ProjectReport:
     """Convenience wrapper: schedule and run every function of *project*."""
     return ProjectScheduler(
-        project, config=config, cache=cache, workers=workers, only=only
+        project,
+        config=config,
+        cache=cache,
+        workers=workers,
+        only=only,
+        interprocedural=interprocedural,
+        unknown_call_cycles=unknown_call_cycles,
     ).run()

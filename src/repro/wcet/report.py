@@ -29,6 +29,11 @@ class WcetReport:
     test_vectors_used: int = 0
     infeasible_paths: int = 0
     generator_statistics: dict[str, int] = field(default_factory=dict)
+    #: callee name -> WCET bound charged per call site (interprocedural mode)
+    callee_bounds_used: dict[str, int] = field(default_factory=dict)
+    #: syntactic call sites charged interprocedurally -- via a genuine
+    #: callee summary or the pessimistic unknown-call constant
+    summarised_call_sites: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -65,6 +70,14 @@ class WcetReport:
             f"  infeasible paths          : {self.infeasible_paths}",
             f"  WCET bound (timing schema): {self.bound.bound_cycles} cycles",
         ]
+        if self.callee_bounds_used:
+            charged = ", ".join(
+                f"{name}={bound}" for name, bound in self.callee_bounds_used.items()
+            )
+            lines.append(
+                f"  callee summaries charged  : {self.summarised_call_sites} "
+                f"call site(s) [{charged}]"
+            )
         if self.end_to_end is not None:
             lines.append(
                 f"  exhaustive end-to-end WCET: {self.end_to_end.max_cycles} cycles "

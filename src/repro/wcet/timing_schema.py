@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..cfg.dominators import natural_loops
 from ..cfg.graph import ControlFlowGraph, EdgeKind
 from ..cfg.paths import DEFAULT_LOOP_BOUND
 from ..measurement.database import MeasurementDatabase
 from ..minic.ast_nodes import DoWhileStmt, ForStmt, WhileStmt
+from ..minic.calls import call_sites
 from ..partition.segment import PartitionResult
 
 
@@ -41,6 +43,10 @@ class SegmentContribution:
     max_cycles: int
     iteration_factor: int
     on_critical_path: bool = False
+    #: static per-execution floor from summarised call sites in the segment
+    #: (``call overhead + callee WCET bound`` per site); the segment weight is
+    #: never below this, even when measurement under-covered the call
+    summarised_call_cycles: int = 0
 
     @property
     def weighted_cycles(self) -> int:
@@ -68,10 +74,22 @@ class TimingSchema:
         cfg: ControlFlowGraph,
         partition: PartitionResult,
         default_loop_bound: int = DEFAULT_LOOP_BOUND,
+        callee_bounds: Mapping[str, int] | None = None,
+        call_overhead: int = 0,
     ):
+        """``callee_bounds`` maps summarised callee names to their WCET bound.
+
+        When given, every segment's weight is floored at the sum of
+        ``call_overhead + bound`` over its call sites to summarised callees:
+        the measurement campaign charges those calls through the board's
+        stubbed cost model, but if the worst call-bearing path of a segment
+        escaped measurement the static floor keeps the schema conservative.
+        """
         self._cfg = cfg
         self._partition = partition
         self._default_loop_bound = default_loop_bound
+        self._callee_bounds = dict(callee_bounds or {})
+        self._call_overhead = call_overhead
 
     # ------------------------------------------------------------------ #
     def compute(
@@ -186,12 +204,33 @@ class TimingSchema:
                     f"segment {segment.segment_id} has no measurements; "
                     "run the measurement campaign first"
                 )
+            call_floor = self._summarised_call_floor(segment.block_ids)
+            if segment.segment_id not in unreachable:
+                max_cycles = max(max_cycles, call_floor)
             weights[segment.segment_id] = SegmentContribution(
                 segment_id=segment.segment_id,
                 max_cycles=max_cycles,
                 iteration_factor=iteration.get(segment.segment_id, 1),
+                summarised_call_cycles=call_floor,
             )
         return weights
+
+    def _summarised_call_floor(self, block_ids: set[int]) -> int:
+        """Charge of the summarised call sites inside the given blocks."""
+        if not self._callee_bounds:
+            return 0
+        floor = 0
+        for block_id in block_ids:
+            block = self._cfg.block(block_id)
+            roots = list(block.statements)
+            if block.terminator.condition is not None:
+                roots.append(block.terminator.condition)
+            for root in roots:
+                for site in call_sites(root):
+                    bound = self._callee_bounds.get(site.name)
+                    if bound is not None:
+                        floor += self._call_overhead + bound
+        return floor
 
     def _iteration_factors(self) -> dict[int, int]:
         """Product of enclosing-loop bounds for every segment."""

@@ -11,6 +11,13 @@ exhaustively measurable), mixes if/else ladders, saturations and a
 the same ingredients as the single-function generator, shrunk to
 batch-test size.
 
+Two generators are provided: :func:`generate_multi_function_workload`
+produces independent tasks (one scheduling wave, the PR 2 shape), and
+:func:`generate_call_chain_workload` produces the interprocedural shape --
+a three-deep call chain, a diamond that reconverges on a shared leaf and
+cross-unit calls -- exercising :mod:`repro.callgraph` scheduling, callee
+summary reuse and transitive cache invalidation.
+
 Everything is seeded: the same ``seed`` always yields byte-identical
 sources, which the project cache tests rely on.
 """
@@ -150,6 +157,143 @@ class _TaskGenerator:
         lines.append("        break;")
         lines.append("    }")
         return lines
+
+
+class _CallChainUnit:
+    """Seeded generator of one unit of the call-chain workload.
+
+    Every function is ``void f(void)``: it reads only the unit's pragma
+    inputs, mixes a saturation and an if/else split (so each function has
+    real path variance for the WCET pipeline), calls the requested callees
+    as plain statements and writes its own ``out_<name>`` global.  Callees
+    never read a caller-written global, which keeps the compositional
+    summary charge sound: a callee's worst case over the pragma inputs
+    covers every call site.
+    """
+
+    def __init__(self, rng: random.Random, unit_index: int):
+        self._rng = rng
+        self._unit = unit_index
+        self._inputs = [f"in{index}" for index in range(INPUTS_PER_UNIT)]
+        self._bodies: list[str] = []
+        self._stubs: list[str] = []
+        self.names: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    def add_function(
+        self,
+        name: str,
+        calls: tuple[str, ...] = (),
+        with_external_stub: bool = False,
+    ) -> None:
+        """Add one task/helper; ``calls`` are emitted as call statements.
+
+        Callee names may live in another unit (the project call graph
+        resolves them); undeclared names are external stubs.
+        """
+        rng = self._rng
+        lines = [f"void {name}(void) {{", "    Int16 acc = 0;"]
+        lines.append(
+            f"    acc = {rng.choice(self._inputs)} * {rng.randint(2, 9)} "
+            f"+ {rng.choice(self._inputs)};"
+        )
+        upper = rng.randint(10, 25)
+        lines += [f"    if (acc > {upper}) {{", f"        acc = {upper};", "    }"]
+        operator = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        lines += [
+            f"    if ({rng.choice(self._inputs)} {operator} "
+            f"{rng.randint(0, INPUT_RANGE_HI)}) {{",
+            f"        acc = acc + {rng.randint(1, 5)};",
+            "    } else {",
+            f"        acc = acc - {rng.randint(1, 3)};",
+            "    }",
+        ]
+        for callee in calls:
+            lines.append(f"    {callee}();")
+        if with_external_stub:
+            stub = f"runnable_{self._unit}_{len(self._stubs)}"
+            self._stubs.append(stub)
+            lines += [
+                f"    if (acc > {rng.randint(3, 12)}) {{",
+                f"        {stub}();",
+                "    }",
+            ]
+        lines += [f"    out_{name} = acc;", "}", ""]
+        self.names.append(name)
+        self._bodies.append("\n".join(lines))
+
+    def render(self) -> str:
+        lines = [f"/* synthetic call-chain workload, unit {self._unit} */"]
+        for name in self._inputs:
+            lines.append(f"#pragma input {name}")
+        for name in self._inputs:
+            lines.append(f"#pragma range {name} 0 {INPUT_RANGE_HI}")
+        lines.append("")
+        for name in self._inputs:
+            lines.append(f"UInt8 {name};")
+        for name in self.names:
+            lines.append(f"Int16 out_{name} = 0;")
+        lines.append("")
+        for name in sorted(set(self._stubs)):
+            lines.append(f"void {name}(void);")
+        lines.append("")
+        lines.extend(self._bodies)
+        return "\n".join(lines) + "\n"
+
+
+def generate_call_chain_workload(
+    seed: int = 2005, units: int = 2
+) -> MultiFunctionWorkload:
+    """Generate the interprocedural workload: deep chain + diamond + cross-unit.
+
+    The call topology exercises every scheduling shape of the call-graph
+    subsystem:
+
+    * a three-deep call chain ``task_0 -> chain_top -> chain_mid ->
+      chain_leaf`` (so editing ``chain_leaf`` must invalidate four cached
+      results and nothing else),
+    * a diamond ``task_0 -> {diamond_left, diamond_right} -> chain_leaf``
+      (shared leaf summary reused by several callers on one wave), and
+    * with ``units >= 2`` cross-unit calls: ``unit_1.c`` defines
+      ``local_helper -> chain_top`` and ``task_1 -> {local_helper,
+      chain_leaf}``, resolved project-wide rather than per translation
+      unit, plus the call-free ``solo_task`` -- the control that must stay
+      cache-warm when any other function is edited.
+
+    Everything is seeded and byte-identical for equal ``seed`` values.
+    """
+    if units not in (1, 2):
+        raise ValueError("the call-chain workload supports 1 or 2 units")
+    sources: dict[str, str] = {}
+    names: list[tuple[str, str]] = []
+
+    unit_0 = _CallChainUnit(random.Random(f"{seed}/chain/0"), 0)
+    unit_0.add_function("chain_leaf")
+    unit_0.add_function("chain_mid", calls=("chain_leaf",))
+    unit_0.add_function("chain_top", calls=("chain_mid",))
+    unit_0.add_function("diamond_left", calls=("chain_leaf",))
+    unit_0.add_function("diamond_right", calls=("chain_leaf",))
+    unit_0.add_function(
+        "task_0",
+        calls=("chain_top", "diamond_left", "diamond_right"),
+        with_external_stub=True,
+    )
+    sources["unit_0.c"] = unit_0.render()
+    names.extend(("unit_0.c", name) for name in unit_0.names)
+
+    if units == 2:
+        unit_1 = _CallChainUnit(random.Random(f"{seed}/chain/1"), 1)
+        unit_1.add_function("local_helper", calls=("chain_top",))
+        unit_1.add_function(
+            "task_1", calls=("local_helper", "chain_leaf"), with_external_stub=True
+        )
+        unit_1.add_function("solo_task", with_external_stub=True)
+        sources["unit_1.c"] = unit_1.render()
+        names.extend(("unit_1.c", name) for name in unit_1.names)
+
+    return MultiFunctionWorkload(
+        sources=sources, functions=sorted(names), seed=seed
+    )
 
 
 def generate_multi_function_workload(

@@ -16,6 +16,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.pipeline import AnalyzerConfig
 from repro.project import (
+    CACHE_SCHEMA,
     FunctionSummary,
     Project,
     ProjectError,
@@ -172,6 +173,46 @@ class TestResultCache:
         cache.path_for(key).write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 
+    def test_truncated_entry_reads_as_miss(self, tmp_path: Path):
+        """A torn write (e.g. power loss mid-copy) must behave as a miss."""
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("f" * 64, quick_config())
+        cache.put(key, self.SUMMARY)
+        path = cache.path_for(key)
+        intact = path.read_text(encoding="utf-8")
+        path.write_text(intact[: len(intact) // 2], encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path: Path):
+        """Entries from an incompatible cache generation must read as misses."""
+        import json as json_module
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("f" * 64, quick_config())
+        cache.put(key, self.SUMMARY)
+        path = cache.path_for(key)
+        payload = json_module.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = "repro-project-cache/0"
+        path.write_text(json_module.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_malformed_summary_payload_reads_as_miss(self, tmp_path: Path):
+        """Valid JSON whose summary is not a summary must not raise."""
+        import json as json_module
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for("f" * 64, quick_config())
+        cache.put(key, self.SUMMARY)
+        path = cache.path_for(key)
+        for broken_summary in (None, [], "text", {}):
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "key": key,
+                "summary": broken_summary,
+            }
+            path.write_text(json_module.dumps(payload), encoding="utf-8")
+            assert cache.get(key) is None
+
     def test_unwritable_cache_counts_failure_instead_of_raising(
         self, tmp_path: Path
     ):
@@ -205,7 +246,9 @@ class TestSchedulerSerial:
         )
         payload = report.to_dict()
         assert payload["totals"]["functions"] == len(workload.functions)
-        assert payload["schema"] == "repro-project-report/1"
+        assert payload["schema"] == "repro-project-report/2"
+        assert payload["execution"]["waves"] == 1
+        assert payload["execution"]["fallback_reason"] is None
 
     def test_identical_rerun_hits_cache(self, project, tmp_path: Path):
         config = quick_config()
