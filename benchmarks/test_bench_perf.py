@@ -62,6 +62,36 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     assert pipeline["modelcheck_queries"] > 0
     assert sum(pipeline["modelcheck_verdicts"].values()) == pipeline["modelcheck_queries"]
 
+    # the query-engine section: the sliced batch must answer the same goals
+    # with identical verdicts measurably faster, and the budgeted deep batch
+    # on the industrial function must leave no query unbounded
+    mcquery = report["mcquery"]
+    assert mcquery["small_verdicts_match"], (
+        "sliced and unsliced query batches diverged: "
+        f"{mcquery['small_verdicts_sliced']} != {mcquery['small_verdicts_unsliced']}"
+    )
+    assert timings["mcquery_small_sliced"] < timings["mcquery_small_unsliced"], (
+        "slicing did not speed up the small-app query batch "
+        f"({timings['mcquery_small_sliced']:.4f}s vs "
+        f"{timings['mcquery_small_unsliced']:.4f}s)"
+    )
+    assert sum(mcquery["deep_verdicts"].values()) == mcquery["deep_queries"]
+    assert set(mcquery["deep_verdicts"]) <= {
+        "reachable",
+        "unreachable",
+        "budget-exhausted",
+    }, "a deep query returned an unbudgeted verdict"
+    deadline_s = mcquery["deep_budget"]["deadline_ms"] / 1000.0
+    assert mcquery["deep_worst_query_seconds"] <= deadline_s * 2.0, (
+        "a deep query overran its budget deadline: "
+        f"{mcquery['deep_worst_query_seconds']:.3f}s"
+    )
+    assert mcquery["deep_unsliced_probe_verdict"] in (
+        "reachable",
+        "unreachable",
+        "budget-exhausted",
+    )
+
     # the call-graph scheduling section: multiple waves, summaries reused,
     # and a warm cache pass that hits for every function
     callgraph = report["callgraph"]
@@ -82,6 +112,7 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     assert on_disk["speedup"]["combined"] == report["speedup"]["combined"]
     assert on_disk["workload"]["basic_blocks"] == industrial_app.basic_blocks
     assert on_disk["pipeline"] == pipeline
+    assert on_disk["mcquery"] == mcquery
 
     lines = [
         "Perf trajectory: pipeline hot paths on the synthetic applications",

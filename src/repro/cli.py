@@ -9,6 +9,10 @@ tooling:
 
 ``repro-wcet analyze FILE --function F --bound B``
     run the complete measurement-based WCET analysis and print the report.
+    ``--mc-budget-steps`` / ``--mc-deadline-ms`` bound every model-checking
+    query (exhausted queries are pessimised instead of hanging);
+    ``--no-slicing`` disables per-goal cone-of-influence slicing.  The same
+    flags apply to ``project``.
 
 ``repro-wcet case-study``
     regenerate the paper's wiper-control case study end to end.
@@ -63,11 +67,42 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_mc_flags(config: AnalyzerConfig, args: argparse.Namespace) -> None:
+    """Plumb the --mc-* flags into the model-checking QueryBudget."""
+    import dataclasses
+
+    mc = config.hybrid.model_checking
+    budget = mc.budget
+    if args.mc_budget_steps is not None:
+        budget = dataclasses.replace(budget, max_steps=args.mc_budget_steps)
+    if args.mc_deadline_ms is not None:
+        budget = dataclasses.replace(budget, deadline_ms=args.mc_deadline_ms)
+    mc.budget = budget
+    if args.no_slicing:
+        mc.slicing = False
+
+
+def _add_mc_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mc-budget-steps", type=int, default=None, metavar="N",
+        help="explored-state budget per model-checking query (default 200000)",
+    )
+    parser.add_argument(
+        "--mc-deadline-ms", type=int, default=None, metavar="MS",
+        help="wall-clock deadline per model-checking query (default 120000)",
+    )
+    parser.add_argument(
+        "--no-slicing", action="store_true",
+        help="disable per-goal cone-of-influence slicing of the model",
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     analyzed = _load(args.file)
     config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
     if args.no_exhaustive:
         config.exhaustive_limit = None
+    _apply_mc_flags(config, args)
     report = WcetAnalyzer(analyzed, args.function, config).analyze()
     print(report.to_text())
     return 0
@@ -117,6 +152,7 @@ def _cmd_project(args: argparse.Namespace) -> int:
     config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
     if args.no_exhaustive:
         config.exhaustive_limit = None
+    _apply_mc_flags(config, args)
     cache = (
         ResultCache.disabled()
         if args.no_cache
@@ -189,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-exhaustive", action="store_true",
         help="skip the exhaustive end-to-end comparison",
     )
+    _add_mc_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     case_study = subparsers.add_parser(
@@ -260,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_output", metavar="PATH",
         help="also write the project report as JSON to PATH",
     )
+    _add_mc_arguments(project)
     project.set_defaults(handler=_cmd_project)
 
     bench = subparsers.add_parser(

@@ -1,11 +1,33 @@
-"""Model checking: reachability engines, goals, results (the SAL stand-in)."""
+"""Model checking: reachability engines, goals, results (the SAL stand-in).
+
+Since the query-engine refactor every reachability question goes through
+:mod:`repro.mc.query`: a planned, budgeted, relevance-sliced portfolio of
+the explicit and symbolic engines.  :class:`ModelChecker` is the facade the
+tool chain talks to.
+"""
 
 from __future__ import annotations
 
-from .checker import EngineKind, ModelChecker, ModelCheckerOptions
+from .checker import ModelChecker, ModelCheckerOptions
 from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
 from .property import GoalBuilder, ReachabilityGoal
-from .result import CheckResult, CheckStatistics, Counterexample, Verdict
+from .query import (
+    EngineKind,
+    PlannedQuery,
+    QueryBudget,
+    QueryEngine,
+    QueryEngineOptions,
+    QueryEngineStats,
+    QueryPlan,
+)
+from .result import (
+    BudgetExhausted,
+    CheckResult,
+    CheckStatistics,
+    Counterexample,
+    Verdict,
+)
+from .slicing import GoalSlice, slice_for_goal
 from .symbolic import SymbolicEngine, SymbolicEngineOptions
 
 __all__ = [
@@ -17,10 +39,19 @@ __all__ = [
     "StateSpaceTooLarge",
     "GoalBuilder",
     "ReachabilityGoal",
+    "BudgetExhausted",
     "CheckResult",
     "CheckStatistics",
     "Counterexample",
     "Verdict",
+    "GoalSlice",
+    "slice_for_goal",
+    "PlannedQuery",
+    "QueryBudget",
+    "QueryEngine",
+    "QueryEngineOptions",
+    "QueryEngineStats",
+    "QueryPlan",
     "SymbolicEngine",
     "SymbolicEngineOptions",
 ]

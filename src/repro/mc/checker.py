@@ -1,29 +1,35 @@
 """Model-checker facade.
 
-:class:`ModelChecker` is what the rest of the tool chain talks to: it owns a
-translated model, picks an engine (symbolic by default, explicit for tiny
-models or when requested) and exposes the two queries test-data generation
-needs -- "give me test data reaching this block" and "give me test data
-driving execution along this exact edge sequence" -- plus the raw
-:meth:`check` entry point used by the Table 2 benchmark.
+:class:`ModelChecker` is what the rest of the tool chain talks to.  Since
+the query-engine refactor it is a thin facade over
+:class:`repro.mc.query.QueryEngine`: every check -- the two queries
+test-data generation needs ("give me test data reaching this block" /
+"drive execution along this exact edge sequence"), whole
+:class:`~repro.mc.query.QueryPlan` batches, and the raw :meth:`check`
+entry point used by the Table 2 benchmark -- is planned, optionally sliced
+and budgeted by the query engine.
+
+By default the facade keeps the historical full-model behaviour (no
+slicing, no external budget) so the paper-reproduction benchmarks stay
+comparable; the test-data generation layer turns slicing and budgets on.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from ..transsys.translate import TranslationResult, edge_label
-from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
+from .explicit import ExplicitEngineOptions
 from .property import GoalBuilder, ReachabilityGoal
+from .query import (
+    EngineKind,
+    QueryBudget,
+    QueryEngine,
+    QueryEngineOptions,
+    QueryPlan,
+)
 from .result import CheckResult, Verdict
-from .symbolic import SymbolicEngine, SymbolicEngineOptions
-
-
-class EngineKind(enum.Enum):
-    SYMBOLIC = "symbolic"
-    EXPLICIT = "explicit"
-    AUTO = "auto"
+from .symbolic import SymbolicEngineOptions
 
 
 @dataclass
@@ -34,6 +40,11 @@ class ModelCheckerOptions:
     #: explicit enumeration is attempted when the free state space has at most
     #: this many bits (AUTO mode)
     explicit_bits_threshold: int = 16
+    #: query budget (None = no external budget, engine defaults apply)
+    budget: QueryBudget | None = None
+    #: per-goal cone-of-influence slicing (off by default: the raw facade
+    #: keeps full-model semantics for the optimisation benchmarks)
+    slicing: bool = False
 
 
 class ModelChecker:
@@ -45,6 +56,17 @@ class ModelChecker:
         self._translation = translation
         self._options = options or ModelCheckerOptions()
         self._goal_builder = GoalBuilder(block_location=translation.block_location)
+        self._engine = QueryEngine(
+            translation,
+            QueryEngineOptions(
+                engine=self._options.engine,
+                budget=self._options.budget,
+                slicing=self._options.slicing,
+                symbolic=self._options.symbolic,
+                explicit=self._options.explicit,
+                explicit_bits_threshold=self._options.explicit_bits_threshold,
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -55,10 +77,18 @@ class ModelChecker:
     def goals(self) -> GoalBuilder:
         return self._goal_builder
 
+    @property
+    def query_engine(self) -> QueryEngine:
+        """The underlying planner (budget/slice/memo statistics live here)."""
+        return self._engine
+
     def check(self, goal: ReachabilityGoal) -> CheckResult:
-        """Run the configured engine on *goal*."""
-        engine = self._select_engine()
-        return engine.check(goal)
+        """Run the budgeted engine portfolio on *goal*."""
+        return self._engine.check(goal)
+
+    def run_plan(self, plan: QueryPlan) -> dict[object, CheckResult]:
+        """Execute a whole query plan (shared prefixes and witnesses reused)."""
+        return self._engine.run_plan(plan)
 
     # ------------------------------------------------------------------ #
     # the two queries test-data generation needs
@@ -67,10 +97,10 @@ class ModelChecker:
         """Test data that makes execution reach the given CFG block."""
         return self.check(self._goal_builder.reach_block(block_id))
 
-    def find_test_data_for_edge_sequence(
+    def goal_for_edge_sequence(
         self, edges: list[tuple[int, int, str]]
-    ) -> CheckResult:
-        """Test data that drives execution along the given CFG edges in order.
+    ) -> ReachabilityGoal:
+        """The path-precise goal for a CFG edge sequence.
 
         ``edges`` are ``(source block, target block, edge kind value)``
         triples as produced by :mod:`repro.cfg`.
@@ -80,8 +110,13 @@ class ModelChecker:
         labels = [
             edge_label(source, target, EdgeKind(kind)) for source, target, kind in edges
         ]
-        goal = self._goal_builder.follow_edges(labels)
-        return self.check(goal)
+        return self._goal_builder.follow_edges(labels)
+
+    def find_test_data_for_edge_sequence(
+        self, edges: list[tuple[int, int, str]]
+    ) -> CheckResult:
+        """Test data that drives execution along the given CFG edges in order."""
+        return self.check(self.goal_for_edge_sequence(edges))
 
     def is_path_infeasible(self, edges: list[tuple[int, int, str]]) -> bool:
         """True when the engine *proved* that no input follows this path.
@@ -92,19 +127,3 @@ class ModelChecker:
         """
         result = self.find_test_data_for_edge_sequence(edges)
         return result.verdict is Verdict.UNREACHABLE
-
-    # ------------------------------------------------------------------ #
-    def _select_engine(self):
-        kind = self._options.engine
-        system = self._translation.system
-        if kind is EngineKind.EXPLICIT:
-            return ExplicitStateEngine(system, self._options.explicit)
-        if kind is EngineKind.SYMBOLIC:
-            return SymbolicEngine(system, self._options.symbolic)
-        # AUTO: explicit only for very small free state spaces
-        if system.initial_state_bits() <= self._options.explicit_bits_threshold:
-            try:
-                return ExplicitStateEngine(system, self._options.explicit)
-            except StateSpaceTooLarge:  # pragma: no cover - defensive
-                return SymbolicEngine(system, self._options.symbolic)
-        return SymbolicEngine(system, self._options.symbolic)

@@ -33,6 +33,9 @@ class ExplicitEngineOptions:
     max_initial_states: int = 200_000
     max_explored_states: int = 2_000_000
     max_steps: int = 10_000
+    #: overall time budget in seconds (None = unlimited); checked every few
+    #: hundred states so a tight query deadline stops the BFS mid-search
+    time_limit: float | None = None
 
 
 class ExplicitStateEngine:
@@ -61,9 +64,16 @@ class ExplicitStateEngine:
 
     def _check(self, goal: ReachabilityGoal) -> CheckResult:
         started = time.perf_counter()
+        deadline = (
+            started + self._options.time_limit
+            if self._options.time_limit is not None
+            else None
+        )
         stats = CheckStatistics(
             state_bits=self._system.total_state_bits(),
             transitions_in_model=len(self._system.transitions),
+            sliced_state_bits=self._system.total_state_bits(),
+            sliced_transitions=len(self._system.transitions),
         )
         initial_states = self._initial_states()
         state_bytes = max(1, self._system.total_state_bits() // 8)
@@ -97,10 +107,20 @@ class ExplicitStateEngine:
             if stats.explored_states > self._options.max_explored_states:
                 stats.time_seconds = time.perf_counter() - started
                 stats.memory_bytes = len(visited) * state_bytes
+                stats.stop_reason = "states"
                 return CheckResult(
                     verdict=Verdict.UNKNOWN, statistics=stats,
                     goal_description=goal.description,
                 )
+            if deadline is not None and stats.explored_states % 256 == 0:
+                if time.perf_counter() > deadline:
+                    stats.time_seconds = time.perf_counter() - started
+                    stats.memory_bytes = len(visited) * state_bytes
+                    stats.stop_reason = "deadline"
+                    return CheckResult(
+                        verdict=Verdict.UNKNOWN, statistics=stats,
+                        goal_description=goal.description,
+                    )
             if len(trace) >= self._options.max_steps:
                 continue
             assignment = dict(zip(self._variable_names, values))

@@ -1,0 +1,634 @@
+"""Planned, budgeted, sliced reachability queries -- the unified query engine.
+
+Every model-checking question the WCET tool chain asks ("reach this block",
+"follow this edge sequence") goes through one subsystem:
+
+* a :class:`QueryPlan` batches all goals of one function and inserts
+  *feasibility probes* for path prefixes shared by several edge-sequence
+  goals -- an infeasible shared prefix proves every extension infeasible
+  with a single query;
+* a :class:`QueryEngine` runs each goal through a budgeted engine
+  portfolio: explicit enumeration when the (sliced) initial state space is
+  small, then symbolic search on the goal's cone-of-influence slice
+  (:mod:`repro.mc.slicing`), escalating to the full model only when the
+  slice could not answer;
+* a :class:`QueryBudget` bounds every query with step / solver-call /
+  deadline limits; when the budget runs out the result carries the typed
+  :class:`~repro.mc.result.BudgetExhausted` verdict, which the WCET layer
+  treats as "unreached, pessimise" instead of hanging on an unbounded
+  search;
+* witnesses are memoised per ``(slice fingerprint, goal)`` and replayed
+  against later goals of the batch (a witness that reaches block 40 through
+  block 17 also answers the block-17 query), and proven-infeasible label
+  sequences subsume every extension.
+
+Progress is surfaced through :mod:`repro.perf`: counters ``mc.query.*``
+(planned / sliced / cache_hits / escalations / budget_exhausted /
+prefix_hits / witness_reuse) and timers ``mc.plan`` / ``mc.slice`` /
+``mc.solve``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from dataclasses import dataclass, replace
+
+from .. import perf
+from ..transsys.translate import TranslationResult
+from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
+from .property import ReachabilityGoal
+from .result import (
+    BudgetExhausted,
+    CheckResult,
+    CheckStatistics,
+    Counterexample,
+    Verdict,
+)
+from .slicing import GoalSlice, forward_reachable_locations, slice_for_goal
+from .symbolic import SymbolicEngine, SymbolicEngineOptions
+
+
+class EngineKind(enum.Enum):
+    SYMBOLIC = "symbolic"
+    EXPLICIT = "explicit"
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Hard limits of one reachability query, across all portfolio stages.
+
+    ``None`` disables the respective limit.  The defaults match the
+    symbolic engine's historical own bounds, so an un-tuned budget changes
+    nothing except that exhaustion becomes an explicit, typed verdict.
+    """
+
+    #: total explored states/paths across all engine stages
+    max_steps: int | None = 200_000
+    #: total constraint-solver invocations across all engine stages
+    max_solver_calls: int | None = None
+    #: wall-clock deadline for the whole query in milliseconds
+    deadline_ms: int | None = 120_000
+
+    @classmethod
+    def unlimited(cls) -> "QueryBudget":
+        return cls(max_steps=None, max_solver_calls=None, deadline_ms=None)
+
+    @property
+    def deadline_seconds(self) -> float | None:
+        return self.deadline_ms / 1000.0 if self.deadline_ms is not None else None
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One goal of a query plan.
+
+    ``key`` is the caller's handle (the test-data generator uses the path
+    target's key); probes carry synthetic keys and are executed only for
+    their side effects on the shared infeasible-prefix/witness bookkeeping.
+    """
+
+    key: object
+    goal: ReachabilityGoal
+    is_probe: bool = False
+
+
+#: a prefix probe is worth a query when at least this many goals share it
+PREFIX_PROBE_THRESHOLD = 3
+
+
+class QueryPlan:
+    """All reachability goals of one function, ordered for shared work.
+
+    Edge-sequence goals are clustered lexicographically by their label
+    sequences so goals sharing prefixes run back to back (maximising
+    witness reuse and prefix subsumption), and prefixes shared by at least
+    :data:`PREFIX_PROBE_THRESHOLD` goals get a feasibility probe that runs
+    first: one UNREACHABLE probe answers every goal extending it.
+    """
+
+    def __init__(self, items: list[PlannedQuery]):
+        self.items = items
+
+    @property
+    def goal_count(self) -> int:
+        return sum(1 for item in self.items if not item.is_probe)
+
+    @property
+    def probe_count(self) -> int:
+        return sum(1 for item in self.items if item.is_probe)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        goals: list[tuple[object, ReachabilityGoal]],
+        probe_threshold: int = PREFIX_PROBE_THRESHOLD,
+    ) -> "QueryPlan":
+        with perf.timed("mc.plan"):
+            ordered_goals = sorted(
+                goals,
+                key=lambda item: (item[1].ordered_labels, item[1].description),
+            )
+            sequences = [
+                goal.ordered_labels
+                for _, goal in ordered_goals
+                if goal.ordered_labels
+                and not goal.target_locations
+                and not goal.target_labels
+            ]
+            probes = [
+                PlannedQuery(
+                    key=("probe", prefix),
+                    goal=ReachabilityGoal(
+                        ordered_labels=prefix,
+                        description="prefix probe " + " -> ".join(prefix),
+                    ),
+                    is_probe=True,
+                )
+                for prefix in cls._shared_prefixes(sequences, probe_threshold)
+            ]
+            items = probes + [
+                PlannedQuery(key=key, goal=goal) for key, goal in ordered_goals
+            ]
+        return cls(items)
+
+    @staticmethod
+    def _shared_prefixes(
+        sequences: list[tuple[str, ...]], threshold: int
+    ) -> list[tuple[str, ...]]:
+        """Deepest branching prefixes shared by >= *threshold* sequences."""
+        counts: dict[tuple[str, ...], int] = {}
+        continuations: dict[tuple[str, ...], set[str]] = {}
+        for sequence in sequences:
+            for cut in range(1, len(sequence)):
+                prefix = sequence[:cut]
+                counts[prefix] = counts.get(prefix, 0) + 1
+                continuations.setdefault(prefix, set()).add(sequence[cut])
+        candidates = {
+            prefix
+            for prefix, count in counts.items()
+            if count >= threshold and len(continuations[prefix]) >= 2
+        }
+        deepest = [
+            prefix
+            for prefix in candidates
+            if not any(
+                other != prefix and other[: len(prefix)] == prefix
+                for other in candidates
+            )
+        ]
+        return sorted(deepest)
+
+
+@dataclass
+class QueryEngineOptions:
+    """Configuration of the query engine (budget + portfolio + slicing)."""
+
+    engine: EngineKind = EngineKind.AUTO
+    #: None = no external budget (the engines' own defaults still apply)
+    budget: QueryBudget | None = None
+    slicing: bool = True
+    symbolic: SymbolicEngineOptions | None = None
+    explicit: ExplicitEngineOptions | None = None
+    #: explicit enumeration is attempted when the free state space of the
+    #: (sliced) model has at most this many bits
+    explicit_bits_threshold: int = 16
+
+
+@dataclass
+class QueryEngineStats:
+    """In-process counters of one query engine (mirrored into repro.perf)."""
+
+    planned: int = 0
+    sliced: int = 0
+    cache_hits: int = 0
+    escalations: int = 0
+    budget_exhausted: int = 0
+    prefix_hits: int = 0
+    witness_reuse: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class QueryEngine:
+    """Budgeted, sliced reachability checking against one translated function."""
+
+    def __init__(
+        self,
+        translation: TranslationResult,
+        options: QueryEngineOptions | None = None,
+    ):
+        self._translation = translation
+        self._options = options or QueryEngineOptions()
+        self.stats = QueryEngineStats()
+        #: forward-reachable locations of the full model (goal-independent)
+        self._forward: frozenset[int] | None = None
+        #: goal-seed -> GoalSlice (many goals share one slice)
+        self._slices: dict[object, GoalSlice | None] = {}
+        #: (slice fingerprint, goal) -> memoised result
+        self._memo: dict[tuple[str, ReachabilityGoal], CheckResult] = {}
+        #: label sequences proven infeasible (subsume every extension)
+        self._infeasible_prefixes: list[tuple[str, ...]] = []
+        #: completed witnesses, replayed against later goals of a batch
+        self._witnesses: list[Counterexample] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def translation(self) -> TranslationResult:
+        return self._translation
+
+    def run_plan(self, plan: QueryPlan) -> dict[object, CheckResult]:
+        """Execute every goal of *plan*; probes feed the shared bookkeeping."""
+        results: dict[object, CheckResult] = {}
+        for item in plan.items:
+            result = self.check(item.goal)
+            if not item.is_probe:
+                results[item.key] = result
+        return results
+
+    def check(self, goal: ReachabilityGoal) -> CheckResult:
+        """Answer one reachability goal within the configured budget."""
+        self.stats.planned += 1
+        perf.add("mc.query.planned")
+
+        # 1. a proven-infeasible prefix subsumes every extension
+        if (
+            goal.ordered_labels
+            and not goal.target_locations
+            and not goal.target_labels
+        ):
+            for prefix in self._infeasible_prefixes:
+                if goal.ordered_labels[: len(prefix)] == prefix:
+                    self.stats.prefix_hits += 1
+                    perf.add("mc.query.prefix_hits")
+                    return CheckResult(
+                        verdict=Verdict.UNREACHABLE,
+                        statistics=self._empty_statistics(),
+                        goal_description=goal.description,
+                    )
+
+        # 2. per-(slice, goal) memo
+        goal_slice = self._slice_for(goal)
+        fingerprint = goal_slice.fingerprint if goal_slice is not None else "full"
+        memo_key = (fingerprint, goal)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            perf.add("mc.query.cache_hits")
+            # a fresh result shell charging (near) zero time: the hit did not
+            # re-run the search, and handing out the memoised statistics
+            # object would double-bill the original query's cost per sibling
+            return replace(
+                cached, statistics=replace(cached.statistics, time_seconds=0.0)
+            )
+
+        # 3. an earlier witness may already answer this goal
+        reused = self._covered_by_known_witness(goal)
+        if reused is not None:
+            self.stats.witness_reuse += 1
+            perf.add("mc.query.witness_reuse")
+            self._memo[memo_key] = reused
+            return reused
+
+        # 4. the budgeted engine portfolio
+        result = self._run_portfolio(goal, goal_slice)
+
+        # 5. bookkeeping for the rest of the batch
+        if (
+            result.verdict is Verdict.UNREACHABLE
+            and goal.ordered_labels
+            and not goal.target_locations
+            and not goal.target_labels
+        ):
+            self._infeasible_prefixes.append(tuple(goal.ordered_labels))
+        if result.verdict is Verdict.REACHABLE and result.counterexample is not None:
+            if result.counterexample.trace:
+                self._witnesses.append(result.counterexample)
+        self._memo[memo_key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # slicing
+    # ------------------------------------------------------------------ #
+    def _slice_for(self, goal: ReachabilityGoal) -> GoalSlice | None:
+        if not self._options.slicing:
+            return None
+        seed = (
+            goal.target_locations,
+            goal.target_labels,
+            goal.ordered_labels[-1] if goal.ordered_labels else None,
+        )
+        if seed in self._slices:
+            return self._slices[seed]
+        if self._forward is None:
+            self._forward = forward_reachable_locations(self._translation.system)
+        with perf.timed("mc.slice"):
+            goal_slice = slice_for_goal(self._translation, goal, self._forward)
+        if goal_slice.is_proper:
+            self.stats.sliced += 1
+            perf.add("mc.query.sliced")
+        self._slices[seed] = goal_slice
+        return goal_slice
+
+    # ------------------------------------------------------------------ #
+    # witness reuse
+    # ------------------------------------------------------------------ #
+    def _covered_by_known_witness(self, goal: ReachabilityGoal) -> CheckResult | None:
+        for witness in self._witnesses:
+            progress = 0
+            for index, transition in enumerate(witness.trace):
+                progress = goal.progress_after(transition, progress)
+                if goal.satisfied(transition.target, transition, progress):
+                    counterexample = Counterexample(
+                        inputs=dict(witness.inputs),
+                        initial_state=dict(witness.initial_state),
+                        trace=list(witness.trace[: index + 1]),
+                    )
+                    stats = self._empty_statistics()
+                    stats.steps = counterexample.steps
+                    return CheckResult(
+                        verdict=Verdict.REACHABLE,
+                        counterexample=counterexample,
+                        statistics=stats,
+                        goal_description=goal.description,
+                    )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # the portfolio
+    # ------------------------------------------------------------------ #
+    def _stages(
+        self, goal_slice: GoalSlice | None
+    ) -> list[tuple[str, TranslationResult]]:
+        """(label, model) stages in escalation order for this goal."""
+        sliced = (
+            goal_slice.translation
+            if goal_slice is not None and goal_slice.is_proper
+            else None
+        )
+        base = sliced if sliced is not None else self._translation
+        kind = self._options.engine
+        stages: list[tuple[str, TranslationResult]] = []
+        if kind is EngineKind.EXPLICIT:
+            return [("explicit", base)]
+        if kind is EngineKind.AUTO:
+            bits = base.system.initial_state_bits()
+            if bits <= self._options.explicit_bits_threshold:
+                stages.append(("explicit", base))
+        label = "symbolic:sliced" if sliced is not None else "symbolic:full"
+        stages.append((label, base))
+        if sliced is not None:
+            stages.append(("symbolic:full", self._translation))
+        return stages
+
+    def _run_portfolio(
+        self, goal: ReachabilityGoal, goal_slice: GoalSlice | None
+    ) -> CheckResult:
+        budget = self._options.budget
+        started = time.perf_counter()
+        deadline = (
+            started + budget.deadline_seconds
+            if budget is not None and budget.deadline_seconds is not None
+            else None
+        )
+        spent_steps = 0
+        spent_solver_calls = 0
+        stages = self._stages(goal_slice)
+        engines_tried: list[str] = []
+        last: CheckResult | None = None
+        tripped_before_stage: str | None = None
+
+        for index, (label, model) in enumerate(stages):
+            tripped_before_stage = self._budget_spent(
+                budget, deadline, spent_steps, spent_solver_calls
+            )
+            if tripped_before_stage is not None:
+                break
+            engine = self._build_engine(
+                label, model, budget, deadline, spent_steps, spent_solver_calls
+            )
+            try:
+                with perf.timed("mc.solve"):
+                    result = engine.check(goal)
+            except StateSpaceTooLarge:
+                if self._options.engine is EngineKind.EXPLICIT:
+                    raise  # a forced engine does not fall through
+                continue
+            engines_tried.append(label)
+            spent_steps += result.statistics.explored_states
+            spent_solver_calls += result.statistics.solver.solve_calls
+            last = result
+            if result.verdict in (Verdict.REACHABLE, Verdict.UNREACHABLE):
+                break
+            if index + 1 < len(stages):
+                self.stats.escalations += 1
+                perf.add("mc.query.escalations")
+
+        return self._finalize(
+            goal, goal_slice, last, engines_tried, budget,
+            spent_steps, spent_solver_calls, time.perf_counter() - started,
+            tripped_before_stage,
+        )
+
+    @staticmethod
+    def _budget_spent(
+        budget: QueryBudget | None,
+        deadline: float | None,
+        spent_steps: int,
+        spent_solver_calls: int,
+    ) -> str | None:
+        """The budget limit already used up before a stage, if any."""
+        if budget is None:
+            return None
+        if budget.max_steps is not None and spent_steps >= budget.max_steps:
+            return "steps"
+        if (
+            budget.max_solver_calls is not None
+            and spent_solver_calls >= budget.max_solver_calls
+        ):
+            return "solver_calls"
+        if deadline is not None and time.perf_counter() >= deadline:
+            return "deadline"
+        return None
+
+    def _build_engine(
+        self,
+        label: str,
+        model: TranslationResult,
+        budget: QueryBudget | None,
+        deadline: float | None,
+        spent_steps: int,
+        spent_solver_calls: int,
+    ):
+        remaining_time = (
+            max(0.0, deadline - time.perf_counter()) if deadline is not None else None
+        )
+        if label == "explicit":
+            options = self._options.explicit or ExplicitEngineOptions()
+            if budget is not None and budget.max_steps is not None:
+                options = replace(
+                    options,
+                    max_explored_states=min(
+                        options.max_explored_states, budget.max_steps - spent_steps
+                    ),
+                )
+            if remaining_time is not None:
+                limit = options.time_limit
+                options = replace(
+                    options,
+                    time_limit=remaining_time
+                    if limit is None
+                    else min(limit, remaining_time),
+                )
+            return ExplicitStateEngine(model.system, options)
+        options = self._options.symbolic or SymbolicEngineOptions()
+        if budget is not None and budget.max_steps is not None:
+            options = replace(
+                options,
+                max_paths=min(options.max_paths, budget.max_steps - spent_steps),
+            )
+        if budget is not None and budget.max_solver_calls is not None:
+            remaining_calls = budget.max_solver_calls - spent_solver_calls
+            limit = options.max_solver_calls
+            options = replace(
+                options,
+                max_solver_calls=remaining_calls
+                if limit is None
+                else min(limit, remaining_calls),
+            )
+        if remaining_time is not None:
+            limit = options.time_limit
+            options = replace(
+                options,
+                time_limit=remaining_time
+                if limit is None
+                else min(limit, remaining_time),
+            )
+        return SymbolicEngine(model.system, options)
+
+    # ------------------------------------------------------------------ #
+    def _finalize(
+        self,
+        goal: ReachabilityGoal,
+        goal_slice: GoalSlice | None,
+        last: CheckResult | None,
+        engines_tried: list[str],
+        budget: QueryBudget | None,
+        spent_steps: int,
+        spent_solver_calls: int,
+        elapsed: float,
+        tripped_before_stage: str | None,
+    ) -> CheckResult:
+        if last is None:
+            last = CheckResult(
+                verdict=Verdict.UNKNOWN,
+                statistics=self._empty_statistics(),
+                goal_description=goal.description,
+            )
+        stats = last.statistics
+        # statistics always describe the caller's full model; the sliced
+        # fields record what the search actually ran on
+        original = self._translation.system
+        stats.state_bits = original.total_state_bits()
+        stats.transitions_in_model = len(original.transitions)
+        stats.engines_tried = tuple(engines_tried)
+        stats.time_seconds = elapsed
+        stats.explored_states = spent_steps
+        if (
+            last.verdict is Verdict.REACHABLE
+            and last.counterexample is not None
+            and goal_slice is not None
+            and goal_slice.dropped_variables
+        ):
+            last.counterexample = self._complete_counterexample(last.counterexample)
+
+        if last.verdict is Verdict.UNKNOWN and budget is not None:
+            limit = tripped_before_stage or self._tripped_limit(
+                budget, spent_steps, spent_solver_calls, elapsed, stats.stop_reason
+            )
+            if limit is not None:
+                self.stats.budget_exhausted += 1
+                perf.add("mc.query.budget_exhausted")
+                return CheckResult(
+                    verdict=Verdict.BUDGET_EXHAUSTED,
+                    statistics=stats,
+                    goal_description=goal.description,
+                    exhaustion=BudgetExhausted(
+                        limit=limit,
+                        spent_steps=spent_steps,
+                        spent_solver_calls=spent_solver_calls,
+                        spent_seconds=elapsed,
+                    ),
+                )
+        return last
+
+    @staticmethod
+    def _tripped_limit(
+        budget: QueryBudget,
+        spent_steps: int,
+        spent_solver_calls: int,
+        elapsed: float,
+        stop_reason: str | None,
+    ) -> str | None:
+        """Which budget limit actually stopped the search, if any.
+
+        The engine's ``stop_reason`` disambiguates: an UNKNOWN caused by the
+        engine's own internal bounds (depth, loop-unrolling) near a budget
+        boundary must stay a plain UNKNOWN, not be misattributed to the
+        budget.
+        """
+        if (
+            stop_reason in ("paths", "states")
+            and budget.max_steps is not None
+            and spent_steps >= budget.max_steps
+        ):
+            return "steps"
+        if (
+            stop_reason == "solver_calls"
+            and budget.max_solver_calls is not None
+            and spent_solver_calls >= budget.max_solver_calls
+        ):
+            return "solver_calls"
+        deadline = budget.deadline_seconds
+        if (
+            stop_reason == "deadline"
+            and deadline is not None
+            and elapsed >= deadline * 0.98
+        ):
+            # the 2% slack covers the engine stopping just short of the
+            # absolute deadline between two poll points; an engine-internal
+            # time limit shorter than the budget fails this elapsed check
+            return "deadline"
+        return None
+
+    def _complete_counterexample(self, witness: Counterexample) -> Counterexample:
+        """Fill in variables the slice dropped (any in-domain value works)."""
+        initial_state = dict(witness.initial_state)
+        for name, variable in self._translation.system.variables.items():
+            if name not in initial_state:
+                initial_state[name] = (
+                    variable.initial
+                    if variable.initial is not None
+                    else variable.domain.lo
+                )
+        inputs = {
+            name: initial_state[name]
+            for name, variable in self._translation.system.variables.items()
+            if variable.is_input
+        }
+        return Counterexample(
+            inputs=inputs, initial_state=initial_state, trace=witness.trace
+        )
+
+    def _empty_statistics(self) -> CheckStatistics:
+        system = self._translation.system
+        return CheckStatistics(
+            state_bits=system.total_state_bits(),
+            transitions_in_model=len(system.transitions),
+            sliced_state_bits=system.total_state_bits(),
+            sliced_transitions=len(system.transitions),
+        )

@@ -23,6 +23,32 @@ class Verdict(enum.Enum):
     UNREACHABLE = "unreachable"
     #: the engine gave up (depth/node/time budget) without an answer
     UNKNOWN = "unknown"
+    #: the *query budget* ran out before any engine could answer; the WCET
+    #: layer treats this as "unreached, pessimise" (the segment keeps its
+    #: pessimistic charge) instead of hanging on an unbounded search
+    BUDGET_EXHAUSTED = "budget-exhausted"
+
+
+@dataclass(frozen=True)
+class BudgetExhausted:
+    """Which limit of a :class:`~repro.mc.query.QueryBudget` tripped.
+
+    Attached to a :class:`CheckResult` whose verdict is
+    :attr:`Verdict.BUDGET_EXHAUSTED` so diagnostics can say *why* the query
+    gave up (deadline hit mid-search, step cap, solver-call cap).
+    """
+
+    limit: str  # "steps" | "solver_calls" | "deadline"
+    spent_steps: int = 0
+    spent_solver_calls: int = 0
+    spent_seconds: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"budget exhausted ({self.limit}): {self.spent_steps} steps, "
+            f"{self.spent_solver_calls} solver calls, "
+            f"{self.spent_seconds:.3f}s"
+        )
 
 
 @dataclass
@@ -63,6 +89,18 @@ class CheckStatistics:
     solver: SolverStatistics = field(default_factory=SolverStatistics)
     state_bits: int = 0
     transitions_in_model: int = 0
+    #: bits / transitions of the (possibly sliced) model the search actually
+    #: ran on; equal to ``state_bits`` / ``transitions_in_model`` without
+    #: slicing.  ``state_bits`` always describes the caller's full model so
+    #: the Table 2 metrics stay comparable across configurations.
+    sliced_state_bits: int = 0
+    sliced_transitions: int = 0
+    #: why an inexhaustive search stopped ("deadline", "paths", "steps",
+    #: "solver_calls", "depth", "states"); None for complete searches
+    stop_reason: str | None = None
+    #: engine stages the query went through ("explicit", "symbolic:sliced",
+    #: "symbolic:full"); filled by the query planner
+    engines_tried: tuple[str, ...] = ()
 
     @property
     def memory_kib(self) -> float:
@@ -77,6 +115,8 @@ class CheckResult:
     counterexample: Counterexample | None = None
     statistics: CheckStatistics = field(default_factory=CheckStatistics)
     goal_description: str = ""
+    #: which query-budget limit tripped (verdict BUDGET_EXHAUSTED only)
+    exhaustion: BudgetExhausted | None = None
 
     @property
     def reachable(self) -> bool:
@@ -85,3 +125,7 @@ class CheckResult:
     @property
     def proven_unreachable(self) -> bool:
         return self.verdict is Verdict.UNREACHABLE
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.verdict is Verdict.BUDGET_EXHAUSTED

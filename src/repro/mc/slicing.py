@@ -1,0 +1,168 @@
+"""Per-goal relevance slicing of translated transition systems.
+
+Classic cone-of-influence reduction, applied *per reachability goal*: a
+query "reach block 613" does not need the five operating modes that cannot
+lead to block 613, nor the variables that only feed branches inside them.
+The slice is computed on the translated :class:`TransitionSystem` (where the
+control structure and every guard are explicit) in two steps:
+
+1. **control slice** -- keep only transitions that lie on some path from the
+   initial location to a goal *anchor* (a transition carrying a goal label,
+   or a goal location): forward reachability from the initial location
+   intersected with backward reachability from the anchors.  Every witness
+   path visits only such transitions, and the slice cannot invent new paths,
+   so REACHABLE/UNREACHABLE verdicts are exactly preserved.
+2. **data cone** -- keep only variables read by the guards of the kept
+   transitions, closed under data dependencies through their updates
+   (the transition-level analogue of
+   :func:`repro.analysis.relevance.control_relevant_variables` over
+   :mod:`repro.analysis.usedef`).  Updates to dropped variables become skip
+   updates; guards are untouched, so guard evaluation -- and hence the set
+   of feasible paths -- is unchanged.
+
+The result typically turns the 857-block industrial function's deep queries
+from a search over the whole mode ladder into a search over one mode's
+cone, which is what makes the big application checkable at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..minic.folding import expression_variables
+from ..transsys.translate import TranslationResult
+from .property import ReachabilityGoal
+
+
+@dataclass
+class GoalSlice:
+    """A goal-specific slice of a translated function."""
+
+    #: sliced translation (shares the base result's CFG provenance maps)
+    translation: TranslationResult
+    #: stable identity of the slice -- memo key component for witness reuse
+    fingerprint: str
+    kept_variables: frozenset[str]
+    dropped_variables: frozenset[str]
+    kept_transition_count: int
+    original_transition_count: int
+
+    @property
+    def is_proper(self) -> bool:
+        """True when the slice actually removed something."""
+        return (
+            bool(self.dropped_variables)
+            or self.kept_transition_count < self.original_transition_count
+        )
+
+
+def forward_reachable_locations(system) -> frozenset[int]:
+    """Locations reachable from the initial location (goal-independent)."""
+    successors: dict[int, list[int]] = {}
+    for transition in system.transitions:
+        successors.setdefault(transition.source, []).append(transition.target)
+    seen = {system.initial_location}
+    worklist = [system.initial_location]
+    while worklist:
+        location = worklist.pop()
+        for target in successors.get(location, ()):
+            if target not in seen:
+                seen.add(target)
+                worklist.append(target)
+    return frozenset(seen)
+
+
+def _goal_anchor_labels(goal: ReachabilityGoal) -> frozenset[str]:
+    """Labels whose traversal can complete the goal.
+
+    For an ordered-label goal only the *last* label finishes the sequence;
+    every earlier label lies on the path to it and is kept by the backward
+    closure automatically.
+    """
+    labels = set(goal.target_labels)
+    if goal.ordered_labels:
+        labels.add(goal.ordered_labels[-1])
+    return frozenset(labels)
+
+
+def slice_for_goal(
+    translation: TranslationResult,
+    goal: ReachabilityGoal,
+    forward: frozenset[int] | None = None,
+) -> GoalSlice:
+    """Compute the cone-of-influence slice of *translation* for *goal*.
+
+    ``forward`` may pass a precomputed :func:`forward_reachable_locations`
+    set (it does not depend on the goal, so callers running query batches
+    compute it once).
+    """
+    system = translation.system
+    transitions = system.transitions
+    if forward is None:
+        forward = forward_reachable_locations(system)
+
+    # --- anchors: where the goal can be completed -------------------------- #
+    anchor_labels = _goal_anchor_labels(goal)
+    anchor_indices: set[int] = set()
+    seeds: set[int] = set(goal.target_locations)
+    for index, transition in enumerate(transitions):
+        if anchor_labels and anchor_labels.intersection(transition.labels):
+            anchor_indices.add(index)
+            seeds.add(transition.source)
+
+    # --- backward reachability to a seed over the location graph ---------- #
+    predecessors: dict[int, list[int]] = {}
+    for transition in transitions:
+        predecessors.setdefault(transition.target, []).append(transition.source)
+    can_reach = set(seeds)
+    worklist = list(seeds)
+    while worklist:
+        location = worklist.pop()
+        for source in predecessors.get(location, ()):
+            if source not in can_reach:
+                can_reach.add(source)
+                worklist.append(source)
+
+    # --- control slice ----------------------------------------------------- #
+    kept_indices = [
+        index
+        for index, transition in enumerate(transitions)
+        if transition.source in can_reach
+        and transition.source in forward
+        and (index in anchor_indices or transition.target in can_reach)
+    ]
+    kept_transitions = [transitions[index] for index in kept_indices]
+
+    # --- data cone: guard variables closed under update dependencies ------ #
+    relevant: set[str] = set()
+    dependencies: dict[str, set[str]] = {}
+    for transition in kept_transitions:
+        if transition.guard is not None:
+            relevant |= expression_variables(transition.guard)
+        for name, expr in transition.updates:
+            dependencies.setdefault(name, set()).update(expression_variables(expr))
+    worklist = list(relevant)
+    while worklist:
+        name = worklist.pop()
+        for source in dependencies.get(name, ()):
+            if source not in relevant:
+                relevant.add(source)
+                worklist.append(source)
+
+    kept_variables = frozenset(name for name in system.variables if name in relevant)
+    dropped_variables = frozenset(system.variables) - kept_variables
+
+    sliced = translation.sliced(kept_variables, kept_transitions)
+    digest = hashlib.sha256()
+    digest.update(system.name.encode("utf-8"))
+    digest.update(repr(tuple(kept_indices)).encode("utf-8"))
+    digest.update(repr(tuple(sorted(kept_variables))).encode("utf-8"))
+    return GoalSlice(
+        translation=sliced,
+        fingerprint=digest.hexdigest()[:16],
+        kept_variables=kept_variables,
+        dropped_variables=dropped_variables,
+        kept_transition_count=len(kept_transitions),
+        original_transition_count=len(transitions),
+    )

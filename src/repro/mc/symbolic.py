@@ -49,6 +49,10 @@ class SymbolicEngineOptions:
     time_limit: float | None = 120.0
     #: per-query node budget of the constraint solver
     solver_max_nodes: int = 100_000
+    #: total solver invocations allowed for this check (None = unlimited);
+    #: the query planner maps a :class:`~repro.mc.query.QueryBudget`'s
+    #: solver-call limit onto this knob
+    max_solver_calls: int | None = None
     #: skip solver calls for guards while exploring and only solve at the goal
     #: (faster for huge models, may explore some infeasible prefixes)
     eager_guard_checks: bool = True
@@ -90,6 +94,8 @@ class SymbolicEngine:
         stats = CheckStatistics(
             state_bits=self._system.total_state_bits(),
             transitions_in_model=len(self._system.transitions),
+            sliced_state_bits=self._system.total_state_bits(),
+            sliced_transitions=len(self._system.transitions),
         )
         solver_stats_peak = 0
         state_bytes = max(1, self._system.total_state_bits() // 8)
@@ -121,11 +127,20 @@ class SymbolicEngine:
         while stack:
             if deadline is not None and time.perf_counter() > deadline:
                 exhausted_completely = False
+                stats.stop_reason = "deadline"
+                break
+            if (
+                self._options.max_solver_calls is not None
+                and stats.solver.solve_calls >= self._options.max_solver_calls
+            ):
+                exhausted_completely = False
+                stats.stop_reason = "solver_calls"
                 break
             state = stack.pop()
             stats.explored_states += 1
             if stats.explored_states > self._options.max_paths:
                 exhausted_completely = False
+                stats.stop_reason = "paths"
                 break
             peak_stack = max(peak_stack, len(stack) + 1)
             symbolic_bytes = sum(
@@ -143,6 +158,8 @@ class SymbolicEngine:
 
             if len(state.trace) >= self._options.max_depth:
                 exhausted_completely = False
+                if stats.stop_reason is None:
+                    stats.stop_reason = "depth"
                 continue
 
             for transition in reversed(outgoing.get(state.location, ())):
@@ -180,6 +197,8 @@ class SymbolicEngine:
                     # crude loop bound: stop unrolling after 64 visits of one
                     # location on a single path
                     exhausted_completely = False
+                    if stats.stop_reason is None:
+                        stats.stop_reason = "depth"
                     continue
                 if goal.satisfied(transition.target, transition, new_progress):
                     witness = self._solve_witness(successor, stats)
@@ -262,6 +281,7 @@ class SymbolicEngine:
             inputs=inputs, initial_state=initial_state, trace=trace
         )
         stats.steps = counterexample.steps
+        stats.stop_reason = None  # the search succeeded; earlier pruning is moot
         return CheckResult(
             verdict=Verdict.REACHABLE, counterexample=counterexample, statistics=stats
         )

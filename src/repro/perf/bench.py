@@ -17,7 +17,15 @@ Times the whole-pipeline trajectory on the synthetic applications:
 * **call-graph scheduling** (since ``repro-bench-perf/3``) -- the project
   scheduler on the call-chain workload: flat (one wave, PR 2 behaviour)
   versus interprocedural (dependency waves + callee summary reuse), plus a
-  cold-write/warm-hit pass over the persistent result cache.
+  cold-write/warm-hit pass over the persistent result cache;
+* **query engine** (since ``repro-bench-perf/4``) -- the planned/budgeted/
+  sliced query pipeline of :mod:`repro.mc.query`: the same block-goal batch
+  on the small application with and without cone-of-influence slicing
+  (identical verdicts required), and a *budgeted deep-query batch* on the
+  857-block industrial function -- the workload that used to take minutes
+  per query -- where every query must complete within its
+  :class:`~repro.mc.query.QueryBudget` (answered or explicitly
+  budget-exhausted, never unbounded).
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -41,10 +49,24 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/3"
+BENCH_SCHEMA = "repro-bench-perf/4"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
+
+#: queries in the sliced-vs-unsliced small-app batch (mcquery section)
+MCQUERY_SMALL_QUERIES = 24
+
+#: deep queries in the budgeted industrial batch (mcquery section)
+MCQUERY_DEEP_QUERIES = 9
+
+#: per-query budget of the industrial deep batch; tight enough to keep the
+#: batch tier-1 sized, generous enough that sliced queries normally answer
+MCQUERY_DEEP_BUDGET = {
+    "max_steps": 20_000,
+    "max_solver_calls": 400,
+    "deadline_ms": 1_500,
+}
 
 
 def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -76,8 +98,8 @@ def _reaching_equal(reference, optimised) -> bool:
 
 def _bench_pipeline_stages(
     app, small_app, repeats: int
-) -> tuple[dict[str, float], dict[str, Any]]:
-    """Time partitioning and model checking; return (timings, details).
+) -> tuple[dict[str, float], dict[str, Any], Any, Any]:
+    """Time partitioning and model checking; return (timings, details, models).
 
     Partitioning runs on the industrial application.  The optimised model is
     built for the industrial application too, but the reachability-query
@@ -118,12 +140,14 @@ def _bench_pipeline_stages(
             OptimizationConfig.cfg_preserving(),
         ),
     )
-    checker = ModelChecker(
-        small_model.translation, ModelCheckerOptions(engine=EngineKind.AUTO)
-    )
     targets = sorted(small_model.translation.block_location)[:MODELCHECK_QUERY_COUNT]
 
     def query_batch() -> dict[str, int]:
+        # a fresh checker per run: the facade memoises query results since
+        # the query-engine refactor, and this metric is the *cold* batch
+        checker = ModelChecker(
+            small_model.translation, ModelCheckerOptions(engine=EngineKind.AUTO)
+        )
         verdicts: dict[str, int] = {}
         for block_id in targets:
             verdict = checker.find_test_data_for_block(block_id).verdict.value
@@ -155,6 +179,112 @@ def _bench_pipeline_stages(
         },
         "small_app_blocks": small_app.basic_blocks,
         "small_app_seed": small_app.seed,
+    }
+    return timings, details, industrial_model, small_model
+
+
+def _bench_mc_query(
+    app, small_app, industrial_model, small_model, repeats: int
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the planned/budgeted/sliced query engine (mcquery section).
+
+    The small-app batch runs the *same* block-reachability goals with and
+    without cone-of-influence slicing (fresh engines per run, so no memo
+    cross-talk) and requires identical verdicts.  The industrial batch runs
+    deep block queries -- minutes each on the unsliced model -- under a
+    tight :class:`~repro.mc.query.QueryBudget`; a single unsliced probe
+    with the same budget documents the "before" behaviour (the budget trips
+    instead of the query hanging).
+    """
+    from ..mc.property import GoalBuilder
+    from ..mc.query import QueryBudget, QueryEngine, QueryEngineOptions
+
+    def block_targets(model, cfg, count: int) -> list[int]:
+        blocks = sorted(
+            block.block_id
+            for block in cfg.real_blocks()
+            if block.block_id in model.translation.block_location
+        )
+        step = max(1, len(blocks) // count)
+        picked = blocks[::step][:count]
+        if blocks and picked and picked[-1] != blocks[-1]:
+            picked[-1] = blocks[-1]  # always include the deepest block
+        return picked
+
+    # --- small app: identical goal batch, sliced vs unsliced --------------- #
+    small_targets = block_targets(small_model, small_app.cfg, MCQUERY_SMALL_QUERIES)
+    small_builder = GoalBuilder(
+        block_location=small_model.translation.block_location
+    )
+
+    def small_batch(slicing: bool):
+        engine = QueryEngine(
+            small_model.translation,
+            QueryEngineOptions(budget=QueryBudget(), slicing=slicing),
+        )
+        verdicts: dict[str, int] = {}
+        for block_id in small_targets:
+            verdict = engine.check(small_builder.reach_block(block_id)).verdict.value
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        return verdicts, engine.stats.as_dict()
+
+    unsliced_s, (unsliced_verdicts, _) = _best_of(repeats, lambda: small_batch(False))
+    sliced_s, (sliced_verdicts, sliced_stats) = _best_of(
+        repeats, lambda: small_batch(True)
+    )
+
+    # --- industrial app: budgeted deep-query batch ------------------------- #
+    budget = QueryBudget(**MCQUERY_DEEP_BUDGET)
+    deep_targets = block_targets(industrial_model, app.cfg, MCQUERY_DEEP_QUERIES)
+    deep_builder = GoalBuilder(
+        block_location=industrial_model.translation.block_location
+    )
+
+    def deep_batch():
+        engine = QueryEngine(
+            industrial_model.translation,
+            QueryEngineOptions(budget=budget, slicing=True),
+        )
+        verdicts: dict[str, int] = {}
+        worst = 0.0
+        for block_id in deep_targets:
+            started = time.perf_counter()
+            verdict = engine.check(deep_builder.reach_block(block_id)).verdict.value
+            worst = max(worst, time.perf_counter() - started)
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        return verdicts, engine.stats.as_dict(), worst
+
+    deep_s, (deep_verdicts, deep_stats, deep_worst) = _best_of(1, deep_batch)
+
+    # the "before" datapoint: the same budget on the unsliced model trips
+    # instead of running for minutes
+    probe_engine = QueryEngine(
+        industrial_model.translation,
+        QueryEngineOptions(budget=budget, slicing=False),
+    )
+    probe_s, probe = _best_of(
+        1, lambda: probe_engine.check(deep_builder.reach_block(deep_targets[-1]))
+    )
+
+    timings = {
+        "mcquery_small_unsliced": unsliced_s,
+        "mcquery_small_sliced": sliced_s,
+        "mcquery_deep_budgeted": deep_s,
+        "mcquery_deep_unsliced_probe": probe_s,
+    }
+    details = {
+        "small_queries": len(small_targets),
+        "small_verdicts_sliced": sliced_verdicts,
+        "small_verdicts_unsliced": unsliced_verdicts,
+        "small_verdicts_match": sliced_verdicts == unsliced_verdicts,
+        "small_sliced_stats": sliced_stats,
+        "deep_queries": len(deep_targets),
+        "deep_budget": dict(MCQUERY_DEEP_BUDGET),
+        "deep_verdicts": deep_verdicts,
+        "deep_stats": deep_stats,
+        "deep_budget_exhausted": deep_stats["budget_exhausted"],
+        "deep_worst_query_seconds": deep_worst,
+        "deep_unsliced_probe_verdict": probe.verdict.value,
     }
     return timings, details
 
@@ -312,8 +442,11 @@ def run_perf_bench(
         and ranges_result.block_entry == ranges_reference.block_entry
     )
 
-    pipeline_timings, pipeline_details = _bench_pipeline_stages(
-        app, small_app, repeats
+    pipeline_timings, pipeline_details, industrial_model, small_model = (
+        _bench_pipeline_stages(app, small_app, repeats)
+    )
+    mcquery_timings, mcquery_details = _bench_mc_query(
+        app, small_app, industrial_model, small_model, repeats
     )
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
 
@@ -341,6 +474,7 @@ def run_perf_bench(
             "ranges_optimised": ranges_s,
             "optimised_cold_first_run": cold_seconds,
             **pipeline_timings,
+            **mcquery_timings,
             **callgraph_timings,
         },
         "speedup": {
@@ -354,6 +488,7 @@ def run_perf_bench(
             "reaching_bitset": reaching_iterations,
         },
         "pipeline": pipeline_details,
+        "mcquery": mcquery_details,
         "callgraph": callgraph_details,
         "results_match": results_match,
         "repeats": repeats,
@@ -415,6 +550,32 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{'mc queries (small)':<22} {'-':>12} "
             f"{timings['modelcheck_queries_small']:>11.4f}s "
             f"({pipeline['modelcheck_queries']} queries: {verdicts})",
+        ]
+    mcquery = report.get("mcquery")
+    if mcquery:
+        speed = timings["mcquery_small_unsliced"] / max(
+            timings["mcquery_small_sliced"], 1e-9
+        )
+        deep_verdicts = ", ".join(
+            f"{count} {name}"
+            for name, count in sorted(mcquery["deep_verdicts"].items())
+        )
+        lines += [
+            "query engine (planned/budgeted/sliced):",
+            f"{'small batch unsliced':<22} {'-':>12} "
+            f"{timings['mcquery_small_unsliced']:>11.4f}s "
+            f"({mcquery['small_queries']} block goals)",
+            f"{'small batch sliced':<22} {'-':>12} "
+            f"{timings['mcquery_small_sliced']:>11.4f}s "
+            f"({speed:.1f}x, verdicts match: {mcquery['small_verdicts_match']})",
+            f"{'deep batch (industrial)':<22} {'-':>12} "
+            f"{timings['mcquery_deep_budgeted']:>11.4f}s "
+            f"({mcquery['deep_queries']} queries: {deep_verdicts}; "
+            f"{mcquery['deep_budget_exhausted']} budget-exhausted, "
+            f"worst {mcquery['deep_worst_query_seconds']:.3f}s)",
+            f"{'deep unsliced probe':<22} {'-':>12} "
+            f"{timings['mcquery_deep_unsliced_probe']:>11.4f}s "
+            f"(verdict: {mcquery['deep_unsliced_probe_verdict']})",
         ]
     callgraph = report.get("callgraph")
     if callgraph:

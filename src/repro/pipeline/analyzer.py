@@ -38,7 +38,7 @@ from ..testgen.hybrid import CoverageSource, HybridOptions, HybridTestDataGenera
 from ..testgen.inputs import InputSpace
 from ..wcet.end_to_end import EndToEndResult, exhaustive_end_to_end
 from ..wcet.report import WcetReport
-from ..wcet.timing_schema import TimingSchema
+from ..wcet.timing_schema import TimingSchema, static_segment_pessimisation
 
 
 class AnalysisError(Exception):
@@ -175,8 +175,19 @@ class WcetAnalyzer:
         runner.run_vectors(vectors, database)
 
         # 5. WCET bound via the timing schema; segments whose every path was
-        #    proven infeasible contribute nothing (they can never execute)
+        #    proven infeasible contribute nothing (they can never execute),
+        #    while feasible-but-unmeasured segments (uncovered targets,
+        #    exhausted query budgets) enter at a static worst-case estimate
+        #    instead of failing the analysis
         unreachable = self._fully_infeasible_segments(partition, suite, database)
+        pessimised = {
+            segment.segment_id: static_segment_pessimisation(
+                cfg, segment, cost_model
+            )
+            for segment in partition.segments
+            if database.max_cycles(segment.segment_id) is None
+            and segment.segment_id not in unreachable
+        }
         schema = TimingSchema(
             cfg,
             partition,
@@ -184,7 +195,11 @@ class WcetAnalyzer:
             callee_bounds=self._callee_bounds,
             call_overhead=cost_model.call_overhead,
         )
-        bound = schema.compute(database, unreachable_segments=unreachable)
+        bound = schema.compute(
+            database,
+            unreachable_segments=unreachable,
+            pessimised_segments=pessimised,
+        )
 
         # 6. optional exhaustive end-to-end comparison; the verification board
         #    executes the *real* callee bodies (no stubs), so a summarised
@@ -211,6 +226,7 @@ class WcetAnalyzer:
             infeasible_paths=len(suite.infeasible_targets),
             callee_bounds_used=dict(sorted(self._callee_bounds.items())),
             summarised_call_sites=self._summarised_site_count(function),
+            mc_diagnostics=dict(suite.mc_diagnostics),
             generator_statistics={
                 "random_targets": len(suite.targets_by_source(CoverageSource.RANDOM)),
                 "genetic_targets": len(suite.targets_by_source(CoverageSource.GENETIC)),
@@ -219,6 +235,7 @@ class WcetAnalyzer:
                 ),
                 "heuristic_share_percent": int(round(100 * suite.heuristic_share)),
                 "model_checking_queries": suite.model_checking_queries,
+                "model_checking_budget_exhausted": suite.budget_exhausted_queries,
                 "genetic_evaluations": suite.genetic_evaluations,
                 "random_vectors_used": suite.random_vectors_used,
             },

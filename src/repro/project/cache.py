@@ -37,7 +37,9 @@ from .report import FunctionSummary
 
 #: schema tag stored in (and required of) every cache entry; /2 added the
 #: interprocedural summary fields and switched keys to transitive fingerprints
-CACHE_SCHEMA = "repro-project-cache/2"
+#: bumped to /3 with the query-engine refactor: cached summaries now
+#: carry budget-exhaustion counts in their generator statistics
+CACHE_SCHEMA = "repro-project-cache/3"
 
 
 class ResultCache:

@@ -19,7 +19,8 @@ from typing import Any
 from ..wcet.report import WcetReport
 
 #: schema tag of the JSON project report
-PROJECT_REPORT_SCHEMA = "repro-project-report/2"
+#: bumped to /3 with the query-engine refactor (budget-exhaustion totals)
+PROJECT_REPORT_SCHEMA = "repro-project-report/3"
 
 
 @dataclass
@@ -164,6 +165,14 @@ class ProjectReport:
     def all_safe(self) -> bool:
         return all(summary.safe for summary in self.functions)
 
+    @property
+    def total_budget_exhausted_queries(self) -> int:
+        """Model-checking queries that ran out of their QueryBudget."""
+        return sum(
+            summary.generator_statistics.get("model_checking_budget_exhausted", 0)
+            for summary in self.functions
+        )
+
     def function_payloads(self) -> list[dict[str, Any]]:
         """Per-function result payloads (the serial-vs-parallel invariant)."""
         return [summary.result_payload() for summary in self.functions]
@@ -178,6 +187,7 @@ class ProjectReport:
                 "instrumentation_points": self.total_instrumentation_points,
                 "measurement_runs": self.total_measurement_runs,
                 "test_vectors_used": self.total_test_vectors,
+                "budget_exhausted_queries": self.total_budget_exhausted_queries,
                 "all_safe": self.all_safe,
             },
             "cache": {
@@ -224,8 +234,14 @@ class ProjectReport:
             f"  total measurement runs    : {self.total_measurement_runs}",
             f"  total test vectors        : {self.total_test_vectors}",
             f"  all bounds safe           : {self.all_safe}",
-            "  per-function results:",
         ]
+        if self.total_budget_exhausted_queries:
+            lines.append(
+                f"  mc budget exhausted       : "
+                f"{self.total_budget_exhausted_queries} query(ies) "
+                "(segments pessimised, not hung)"
+            )
+        lines.append("  per-function results:")
         header = (
             f"    {'unit':<16} {'function':<16} {'wave':>4} {'seg':>4} {'ip':>5} "
             f"{'runs':>6} {'bound':>7} {'measured':>9} {'safe':>5} {'cache':>6}"

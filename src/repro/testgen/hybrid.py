@@ -95,6 +95,10 @@ class TestSuite:
     random_vectors_used: int = 0
     genetic_evaluations: int = 0
     model_checking_queries: int = 0
+    #: queries whose QueryBudget ran out (reported uncovered, pessimised)
+    budget_exhausted_queries: int = 0
+    #: query-engine counters (planned/sliced/cache_hits/escalations/...)
+    mc_diagnostics: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def targets_by_source(self, source: CoverageSource) -> list[TargetReport]:
@@ -139,6 +143,7 @@ class TestSuite:
             "model_checking": len(self.targets_by_source(CoverageSource.MODEL_CHECKING)),
             "infeasible": len(self.infeasible_targets),
             "uncovered": len(self.uncovered_targets),
+            "budget_exhausted": self.budget_exhausted_queries,
             "heuristic_share": round(self.heuristic_share, 3),
         }
 
@@ -246,8 +251,11 @@ class HybridTestDataGenerator:
         generator = ModelCheckingTestDataGenerator(
             self._analyzed, self._function, self._options.model_checking
         )
-        for target in list(coverage.uncovered_targets()):
-            outcome = generator.generate_for_target(target)
+        # one query plan for every remaining target: shared path prefixes are
+        # probed once and witnesses found for one target answer its siblings
+        targets = list(coverage.uncovered_targets())
+        for outcome in generator.generate_for_targets(targets):
+            target = outcome.target
             if outcome.status is TargetStatus.COVERED and outcome.vector is not None:
                 vector = self._space.clamp(outcome.vector)
                 suite.add_vector(vector)
@@ -265,7 +273,11 @@ class HybridTestDataGenerator:
                     TargetReport(target=target, source=CoverageSource.INFEASIBLE)
                 )
             else:
+                # UNKNOWN and BUDGET_EXHAUSTED both pessimise: the target
+                # stays uncovered, the segment keeps its static charge
                 suite.reports.append(
                     TargetReport(target=target, source=CoverageSource.UNCOVERED)
                 )
         suite.model_checking_queries = generator.statistics.queries
+        suite.budget_exhausted_queries = generator.statistics.budget_exhausted
+        suite.mc_diagnostics = generator.query_diagnostics()

@@ -5,15 +5,17 @@
     it will always be found with model checking. [...] If no data pattern is
     found for a selected path the path is deemed infeasible." (Section 3)
 
-For every requested path target the generator
-
-1. builds an optimised model of the analysed function (all state-space
-   optimisations except dead-*code* elimination, which could remove the very
-   statements the path runs through),
-2. asks the model checker for a counterexample that traverses the target's
-   CFG edges in order, and
-3. reports the witness inputs, a proof of infeasibility, or "unknown" when
-   the engine ran out of budget.
+Since the query-engine refactor the generator builds **one** optimised
+model per function (protecting the control-relevant variables computed by
+:mod:`repro.analysis.relevance`, which is what the old per-target
+"protected variables" re-translation guaranteed) and batches every path
+target into a single :class:`~repro.mc.query.QueryPlan`: shared path
+prefixes are probed once, witnesses found for one target answer sibling
+targets, and every query runs under the configured
+:class:`~repro.mc.query.QueryBudget` with cone-of-influence slicing.  A
+target whose budget runs out is reported as
+:attr:`TargetStatus.BUDGET_EXHAUSTED` -- the WCET layer keeps its
+pessimistic charge instead of hanging.
 """
 
 from __future__ import annotations
@@ -21,10 +23,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..minic.folding import expression_variables
+from ..analysis.relevance import control_relevant_variables
+from ..cfg.builder import build_cfg
 from ..minic.semantic import AnalyzedProgram
-from ..mc.checker import EngineKind, ModelChecker, ModelCheckerOptions
-from ..mc.result import CheckStatistics, Verdict
+from ..mc.checker import ModelChecker, ModelCheckerOptions
+from ..mc.query import EngineKind, QueryBudget, QueryPlan
+from ..mc.result import CheckResult, CheckStatistics, Verdict
 from ..optim.pipeline import OptimizationConfig, build_optimized_model
 from .targets import PathTarget
 
@@ -35,6 +39,7 @@ class TargetStatus(enum.Enum):
     COVERED = "covered"
     INFEASIBLE = "infeasible"
     UNKNOWN = "unknown"
+    BUDGET_EXHAUSTED = "budget-exhausted"
 
 
 @dataclass
@@ -53,6 +58,7 @@ class ModelCheckGeneratorStatistics:
     covered: int = 0
     infeasible: int = 0
     unknown: int = 0
+    budget_exhausted: int = 0
     total_time_seconds: float = 0.0
 
 
@@ -65,10 +71,14 @@ class ModelCheckGeneratorOptions:
     )
     engine: EngineKind = EngineKind.AUTO
     checker: ModelCheckerOptions | None = None
+    #: step/solver-call/deadline limits of every reachability query
+    budget: QueryBudget = field(default_factory=QueryBudget)
+    #: per-goal cone-of-influence slicing (``--no-slicing`` disables it)
+    slicing: bool = True
 
 
 class ModelCheckingTestDataGenerator:
-    """Generates test data for individual path targets via reachability."""
+    """Generates test data for path targets via planned reachability queries."""
 
     def __init__(
         self,
@@ -80,13 +90,68 @@ class ModelCheckingTestDataGenerator:
         self._function = function_name
         self._options = options or ModelCheckGeneratorOptions()
         self.statistics = ModelCheckGeneratorStatistics()
-        self._checker_cache: dict[frozenset[str], ModelChecker] = {}
+        self._checker: ModelChecker | None = None
 
     # ------------------------------------------------------------------ #
     def generate_for_target(self, target: PathTarget) -> ModelCheckOutcome:
         """Find test data forcing execution along *target* (or prove infeasibility)."""
-        checker = self._checker_for(self._protected_variables(target))
-        result = checker.find_test_data_for_edge_sequence(list(target.edges))
+        return self.generate_for_targets([target])[0]
+
+    def generate_for_targets(self, targets: list[PathTarget]) -> list[ModelCheckOutcome]:
+        """Answer all *targets* through one shared query plan.
+
+        Batching is what enables the cross-target optimisations: prefix
+        probes, witness reuse and the per-(slice, goal) memo all live on the
+        query engine shared by the batch (and by later batches -- the
+        checker persists across calls).
+        """
+        if not targets:
+            return []
+        checker = self._checker_instance()
+        plan = QueryPlan.build(
+            [
+                (target.key, checker.goal_for_edge_sequence(list(target.edges)))
+                for target in targets
+            ]
+        )
+        results = checker.run_plan(plan)
+        return [self._outcome(target, results[target.key]) for target in targets]
+
+    def query_diagnostics(self) -> dict[str, int]:
+        """Planner counters (planned/sliced/cache_hits/escalations/...)."""
+        if self._checker is None:
+            return {}
+        return self._checker.query_engine.stats.as_dict()
+
+    # ------------------------------------------------------------------ #
+    def _checker_instance(self) -> ModelChecker:
+        """The one checker of this generator (one optimised model, reused).
+
+        The control-relevant variable set (backward closure over all branch
+        conditions, :func:`control_relevant_variables`) is protected from
+        dead-code elimination, which subsumes the old per-target
+        "protected variables" guarantee: every variable any target path's
+        decisions read is control-relevant by definition.
+        """
+        if self._checker is not None:
+            return self._checker
+        cfg = build_cfg(self._analyzed.program.function(self._function))
+        protected = control_relevant_variables(cfg)
+        model = build_optimized_model(
+            self._analyzed,
+            self._function,
+            self._options.optimizations,
+            keep_variables=protected,
+        )
+        checker_options = self._options.checker or ModelCheckerOptions(
+            engine=self._options.engine,
+            budget=self._options.budget,
+            slicing=self._options.slicing,
+        )
+        self._checker = ModelChecker(model.translation, checker_options)
+        return self._checker
+
+    def _outcome(self, target: PathTarget, result: CheckResult) -> ModelCheckOutcome:
         self.statistics.queries += 1
         self.statistics.total_time_seconds += result.statistics.time_seconds
         if result.verdict is Verdict.REACHABLE and result.counterexample is not None:
@@ -102,52 +167,14 @@ class ModelCheckingTestDataGenerator:
             return ModelCheckOutcome(
                 target=target, status=TargetStatus.INFEASIBLE, statistics=result.statistics
             )
+        if result.verdict is Verdict.BUDGET_EXHAUSTED:
+            self.statistics.budget_exhausted += 1
+            return ModelCheckOutcome(
+                target=target,
+                status=TargetStatus.BUDGET_EXHAUSTED,
+                statistics=result.statistics,
+            )
         self.statistics.unknown += 1
         return ModelCheckOutcome(
             target=target, status=TargetStatus.UNKNOWN, statistics=result.statistics
         )
-
-    def generate_for_targets(self, targets: list[PathTarget]) -> list[ModelCheckOutcome]:
-        return [self.generate_for_target(target) for target in targets]
-
-    # ------------------------------------------------------------------ #
-    def _protected_variables(self, target: PathTarget) -> frozenset[str]:
-        """Variables the target path's decisions read (must survive optimisation).
-
-        Dead-variable elimination only removes variables that influence *no*
-        branch, so in principle nothing on a path can depend on them; keeping
-        the variables read by the path's own branch blocks is a defensive
-        guarantee that the optimised model can still express the path.
-        """
-        cfg = None
-        try:
-            from ..cfg.builder import build_cfg
-
-            cfg = build_cfg(self._analyzed.program.function(self._function))
-        except Exception:  # pragma: no cover - defensive
-            return frozenset()
-        protected: set[str] = set()
-        for block_id in target.blocks:
-            try:
-                block = cfg.block(block_id)
-            except Exception:  # pragma: no cover - stale target
-                continue
-            if block.terminator.condition is not None:
-                protected |= expression_variables(block.terminator.condition)
-        return frozenset(protected)
-
-    def _checker_for(self, protected: frozenset[str]) -> ModelChecker:
-        if protected in self._checker_cache:
-            return self._checker_cache[protected]
-        model = build_optimized_model(
-            self._analyzed,
-            self._function,
-            self._options.optimizations,
-            keep_variables=protected,
-        )
-        checker_options = self._options.checker or ModelCheckerOptions(
-            engine=self._options.engine
-        )
-        checker = ModelChecker(model.translation, checker_options)
-        self._checker_cache[protected] = checker
-        return checker

@@ -94,6 +94,71 @@ class TranslationResult:
         except KeyError as exc:
             raise TranslationError(f"no location for block {block_id}") from exc
 
+    # ------------------------------------------------------------------ #
+    # slice-aware derivation
+    # ------------------------------------------------------------------ #
+    def sliced(
+        self,
+        relevant_variables: frozenset[str],
+        transitions: list[Transition],
+    ) -> "TranslationResult":
+        """A translation of the same function restricted to a slice.
+
+        Only *relevant_variables* are materialised as state bits; updates to
+        dropped variables become skip updates (guards are the caller's
+        responsibility: a sound slice only drops variables no kept guard
+        depends on, see :mod:`repro.mc.slicing`).  The CFG provenance maps
+        are shared with the base result, so goals built against the original
+        block/location numbering stay valid on the sliced system.
+        """
+        variables = {
+            name: variable
+            for name, variable in self.system.variables.items()
+            if name in relevant_variables
+        }
+        kept_locations = {self.system.initial_location}
+        sliced_transitions: list[Transition] = []
+        for transition in transitions:
+            kept_locations.add(transition.source)
+            kept_locations.add(transition.target)
+            sliced_transitions.append(
+                Transition(
+                    source=transition.source,
+                    target=transition.target,
+                    guard=transition.guard,
+                    updates=[
+                        (name, expr)
+                        for name, expr in transition.updates
+                        if name in variables
+                    ],
+                    labels=transition.labels,
+                    statement_count=transition.statement_count,
+                )
+            )
+        system = TransitionSystem(
+            name=self.system.name,
+            variables=variables,
+            transitions=sliced_transitions,
+            initial_location=self.system.initial_location,
+            final_locations={
+                location
+                for location in self.system.final_locations
+                if location in kept_locations
+            },
+            annotations=list(self.system.annotations)
+            + [
+                f"slice: {len(variables)}/{len(self.system.variables)} variables, "
+                f"{len(sliced_transitions)}/{len(self.system.transitions)} transitions"
+            ],
+        )
+        return TranslationResult(
+            system=system,
+            cfg=self.cfg,
+            block_location=self.block_location,
+            location_block=self.location_block,
+            final_location=self.final_location,
+        )
+
 
 def edge_label(source: int, target: int, kind: EdgeKind) -> str:
     """The transition label identifying a CFG edge."""

@@ -34,6 +34,10 @@ class WcetReport:
     #: syntactic call sites charged interprocedurally -- via a genuine
     #: callee summary or the pessimistic unknown-call constant
     summarised_call_sites: int = 0
+    #: model-checking query-engine counters (planned/sliced/cache_hits/
+    #: escalations/budget_exhausted/...); budget-exhausted targets stay
+    #: uncovered, so their segments keep the pessimistic static charge
+    mc_diagnostics: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -77,6 +81,31 @@ class WcetReport:
             lines.append(
                 f"  callee summaries charged  : {self.summarised_call_sites} "
                 f"call site(s) [{charged}]"
+            )
+        if self.mc_diagnostics:
+            planned = self.mc_diagnostics.get("planned", 0)
+            sliced = self.mc_diagnostics.get("sliced", 0)
+            exhausted = self.mc_diagnostics.get("budget_exhausted", 0)
+            shared = (
+                self.mc_diagnostics.get("cache_hits", 0)
+                + self.mc_diagnostics.get("prefix_hits", 0)
+                + self.mc_diagnostics.get("witness_reuse", 0)
+            )
+            lines.append(
+                f"  mc queries planned        : {planned} "
+                f"({sliced} sliced, {shared} answered by shared work)"
+            )
+            if exhausted:
+                lines.append(
+                    f"  mc budget exhausted       : {exhausted} "
+                    "(targets pessimised, not hung)"
+                )
+        pessimised = self.bound.pessimised_segments
+        if pessimised:
+            lines.append(
+                f"  segments pessimised       : {len(pessimised)} "
+                f"(static estimate, no measurement: "
+                f"{', '.join(str(s) for s in pessimised)})"
             )
         if self.end_to_end is not None:
             lines.append(

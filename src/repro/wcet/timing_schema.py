@@ -23,16 +23,79 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..cfg.dominators import natural_loops
-from ..cfg.graph import ControlFlowGraph, EdgeKind
+from ..cfg.graph import ControlFlowGraph, EdgeKind, TerminatorKind
 from ..cfg.paths import DEFAULT_LOOP_BOUND
 from ..measurement.database import MeasurementDatabase
-from ..minic.ast_nodes import DoWhileStmt, ForStmt, WhileStmt
+from ..minic.ast_nodes import CallExpr, DoWhileStmt, ForStmt, WhileStmt
 from ..minic.calls import call_sites
-from ..partition.segment import PartitionResult
+from ..partition.segment import PartitionResult, ProgramSegment
 
 
 class WcetComputationError(Exception):
     """Raised when the WCET bound cannot be computed (e.g. unmeasured segment)."""
+
+
+def static_segment_pessimisation(
+    cfg: ControlFlowGraph, segment: ProgramSegment, cost_model
+) -> int:
+    """Conservative static cycle estimate for an *unmeasured* segment.
+
+    When every path of a segment escaped measurement -- typically because the
+    model-checking queries for it ran out of their
+    :class:`~repro.mc.query.QueryBudget` -- the schema needs a weight that is
+    guaranteed to dominate anything one execution of the segment could cost.
+    The estimate charges every AST node of every block in the segment at the
+    cost model's most expensive operation (calls at their external-call
+    charge), and sums over *all* blocks: a superset of any single path, so
+    the resulting bound stays safe ("unreached, pessimise").  Within-segment
+    loop repetition is covered by the schema's iteration factors, which
+    multiply this per-execution estimate like any measured weight.
+    """
+    # every per-operation cycle field of the model: the estimate must
+    # dominate the dearest operation even under custom cost models
+    worst_op = max(
+        cost_model.load_variable,
+        cost_model.load_literal,
+        cost_model.store_variable,
+        cost_model.alu_op,
+        cost_model.compare_op,
+        cost_model.logic_op,
+        cost_model.shift_op,
+        cost_model.multiply_op,
+        cost_model.divide_op,
+        cost_model.unary_op,
+        cost_model.cast_op,
+        cost_model.branch_taken,
+        cost_model.branch_not_taken,
+        cost_model.switch_dispatch_per_case,
+        cost_model.return_cost,
+        cost_model.declaration_cost,
+    )
+    worst_node = max(1, round(worst_op * cost_model.wide_factor))
+
+    def node_cost(root) -> int:
+        cost = 0
+        for node in root.walk():
+            if isinstance(node, CallExpr):
+                cost += cost_model.call_overhead + cost_model.external_call_cost(
+                    node.name
+                )
+            cost += worst_node
+        return cost
+
+    total = 0
+    for block_id in segment.block_ids:
+        block = cfg.block(block_id)
+        for stmt in block.statements:
+            total += node_cost(stmt)
+        terminator = block.terminator
+        if terminator.condition is not None:
+            total += node_cost(terminator.condition) + cost_model.branch_taken
+        if terminator.kind is TerminatorKind.SWITCH:
+            total += cost_model.switch_dispatch_per_case * max(
+                1, len(cfg.out_edges(block))
+            )
+    return total
 
 
 @dataclass
@@ -47,6 +110,10 @@ class SegmentContribution:
     #: (``call overhead + callee WCET bound`` per site); the segment weight is
     #: never below this, even when measurement under-covered the call
     summarised_call_cycles: int = 0
+    #: True when the weight is the static pessimisation of an unmeasured
+    #: segment (no observation, no infeasibility proof -- e.g. every query
+    #: for it exhausted its budget)
+    pessimised: bool = False
 
     @property
     def weighted_cycles(self) -> int:
@@ -64,6 +131,15 @@ class WcetBound:
 
     def contribution(self, segment_id: int) -> SegmentContribution:
         return self.contributions[segment_id]
+
+    @property
+    def pessimised_segments(self) -> list[int]:
+        """Segments whose weight is a static estimate, not a measurement."""
+        return sorted(
+            segment_id
+            for segment_id, contribution in self.contributions.items()
+            if contribution.pessimised
+        )
 
 
 class TimingSchema:
@@ -96,15 +172,22 @@ class TimingSchema:
         self,
         database: MeasurementDatabase,
         unreachable_segments: set[int] | None = None,
+        pessimised_segments: Mapping[int, int] | None = None,
     ) -> WcetBound:
         """Combine per-segment maxima into the WCET bound.
 
         ``unreachable_segments`` lists segments that are known to be
         infeasible (every path through them was proven unreachable by the
         model checker); they contribute zero cycles instead of raising a
-        missing-measurement error.
+        missing-measurement error.  ``pessimised_segments`` maps segments
+        that are *not* proven infeasible but have no measurement either
+        (uncovered targets, exhausted query budgets) to a static worst-case
+        estimate (:func:`static_segment_pessimisation`): they enter the
+        bound at that estimate instead of failing the computation.
         """
-        weights = self._segment_weights(database, unreachable_segments or set())
+        weights = self._segment_weights(
+            database, unreachable_segments or set(), pessimised_segments or {}
+        )
         clusters = self._loop_clusters()
         cluster_of: dict[int, int] = {}
         for index, members in enumerate(clusters):
@@ -191,14 +274,21 @@ class TimingSchema:
 
     # ------------------------------------------------------------------ #
     def _segment_weights(
-        self, database: MeasurementDatabase, unreachable: set[int]
+        self,
+        database: MeasurementDatabase,
+        unreachable: set[int],
+        pessimised: Mapping[int, int],
     ) -> dict[int, SegmentContribution]:
         iteration = self._iteration_factors()
         weights: dict[int, SegmentContribution] = {}
         for segment in self._partition.segments:
             max_cycles = database.max_cycles(segment.segment_id)
+            statically_pessimised = False
             if max_cycles is None and segment.segment_id in unreachable:
                 max_cycles = 0
+            if max_cycles is None and segment.segment_id in pessimised:
+                max_cycles = pessimised[segment.segment_id]
+                statically_pessimised = True
             if max_cycles is None:
                 raise WcetComputationError(
                     f"segment {segment.segment_id} has no measurements; "
@@ -212,6 +302,7 @@ class TimingSchema:
                 max_cycles=max_cycles,
                 iteration_factor=iteration.get(segment.segment_id, 1),
                 summarised_call_cycles=call_floor,
+                pessimised=statically_pessimised,
             )
         return weights
 
