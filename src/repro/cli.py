@@ -27,10 +27,19 @@ tooling:
     ``--call-graph`` prints the resolved call graph with waves and
     diagnostics, ``--no-interprocedural`` restores the flat PR 2 behaviour.
 
+``repro-wcet cache-verify``
+    sweep the persistent result cache, moving corrupt entries into its
+    ``corrupt/`` quarantine directory and reporting what was found.
+
 ``repro-wcet bench``
     time the pipeline hot paths (dataflow, partitioning, model checking) on
     the synthetic applications and write the ``BENCH_perf.json``
     perf-trajectory report.
+
+``analyze`` and ``project`` additionally take ``--inject-fault SITE:SPEC``
+(repeatable) and ``--fault-seed`` for deterministic chaos testing;
+``project`` adds ``--job-timeout``, ``--retry-attempts`` and
+``--pool-restarts`` to control the resilient scheduler.
 """
 
 from __future__ import annotations
@@ -82,6 +91,27 @@ def _apply_mc_flags(config: AnalyzerConfig, args: argparse.Namespace) -> None:
         mc.slicing = False
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-fault", action="append", dest="inject_faults",
+        metavar="SITE:SPEC", default=None,
+        help="inject a deterministic fault, e.g. cache.write:raise@1, "
+        "mc.solve:raise, job.execute:rate=0.1, interp.step:delay=5@100 "
+        "(repeatable; sites: cache.read, cache.write, pool.submit, "
+        "job.execute, mc.solve, interp.step)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for rate=... fault decisions and retry backoff jitter",
+    )
+
+
+def _fault_plan(args: argparse.Namespace):
+    from .resilience import FaultPlan
+
+    return FaultPlan.from_args(args.inject_faults or [], seed=args.fault_seed)
+
+
 def _add_mc_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mc-budget-steps", type=int, default=None, metavar="N",
@@ -98,12 +128,21 @@ def _add_mc_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .resilience import FaultInjector, ResilienceContext, activate
+
     analyzed = _load(args.file)
     config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
     if args.no_exhaustive:
         config.exhaustive_limit = None
     _apply_mc_flags(config, args)
-    report = WcetAnalyzer(analyzed, args.function, config).analyze()
+    plan = _fault_plan(args)
+    if plan.is_empty:
+        report = WcetAnalyzer(analyzed, args.function, config).analyze()
+    else:
+        # single-function analysis runs in-process: only the in-pipeline
+        # sites (mc.solve, interp.step) can fire here
+        with activate(ResilienceContext(injector=FaultInjector(plan))):
+            report = WcetAnalyzer(analyzed, args.function, config).analyze()
     print(report.to_text())
     return 0
 
@@ -158,6 +197,9 @@ def _cmd_project(args: argparse.Namespace) -> int:
         if args.no_cache
         else ResultCache(args.cache_dir)
     )
+    from .resilience import RetryPolicy
+
+    plan = _fault_plan(args)
     scheduler = ProjectScheduler(
         project,
         config=config,
@@ -166,6 +208,12 @@ def _cmd_project(args: argparse.Namespace) -> int:
         only=args.functions,
         interprocedural=not args.no_interprocedural,
         unknown_call_cycles=args.unknown_call_cycles,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(
+            max_attempts=args.retry_attempts, seed=args.fault_seed
+        ),
+        job_timeout_seconds=args.job_timeout,
+        pool_restart_budget=args.pool_restarts,
     )
     if args.no_interprocedural:
         for flag, value in (
@@ -186,6 +234,21 @@ def _cmd_project(args: argparse.Namespace) -> int:
         report.write_json(args.json_output)
         print(f"JSON report written to {args.json_output}")
     return 1 if report.failures else 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from .project import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    report = cache.verify()
+    print(f"cache directory : {args.cache_dir}")
+    print(f"entries checked : {report['checked']}")
+    print(f"entries ok      : {report['ok']}")
+    print(f"quarantined     : {report['quarantined']}")
+    print(f"schema mismatch : {report['schema_mismatch']}")
+    for note in report["entries"]:
+        print(f"  ! {note}")
+    return 0 if not report["quarantined"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -226,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the exhaustive end-to-end comparison",
     )
     _add_mc_arguments(analyze)
+    _add_fault_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     case_study = subparsers.add_parser(
@@ -297,8 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_output", metavar="PATH",
         help="also write the project report as JSON to PATH",
     )
+    project.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock timeout per function job; overrunning jobs are "
+        "quarantined behind a static pessimised (still sound) bound",
+    )
+    project.add_argument(
+        "--retry-attempts", type=int, default=3, metavar="N",
+        help="attempts per job before a transiently failing job is "
+        "quarantined (default 3)",
+    )
+    project.add_argument(
+        "--pool-restarts", type=int, default=2, metavar="N",
+        help="times a died process pool is re-created before falling back "
+        "to serial execution (default 2)",
+    )
     _add_mc_arguments(project)
+    _add_fault_arguments(project)
     project.set_defaults(handler=_cmd_project)
+
+    cache_verify = subparsers.add_parser(
+        "cache-verify",
+        help="sweep the result cache, quarantining corrupt entries",
+    )
+    cache_verify.add_argument(
+        "--cache-dir", default=".repro-wcet-cache",
+        help="persistent result-cache directory (default: .repro-wcet-cache)",
+    )
+    cache_verify.set_defaults(handler=_cmd_cache_verify)
 
     bench = subparsers.add_parser(
         "bench",

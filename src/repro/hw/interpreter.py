@@ -45,7 +45,16 @@ from ..minic.ast_nodes import (
 from ..minic.folding import apply_binary, apply_unary
 from ..minic.semantic import AnalyzedProgram
 from ..minic.types import BOOL, CType, INT16
+from ..resilience import faults as _resilience
 from .cost_model import CostModel, HCS12_COST_MODEL
+
+
+def _poll_resilience() -> None:
+    """Deadline poll + ``interp.step`` fault site (no-op on clean paths)."""
+    if _resilience.current() is None:
+        return
+    _resilience.poll_deadline()
+    _resilience.maybe_fault("interp.step")
 
 
 class ExecutionError(Exception):
@@ -572,3 +581,8 @@ class _RunState:
             raise ExecutionError(
                 f"execution exceeded {self.max_steps} steps (possible unbounded loop)"
             )
+        if not self.steps & 1023:
+            # every 1024 steps: cooperative per-job deadline + fault site.
+            # Outside chaos runs the ambient context is None and this costs
+            # one mask, one call and one global read per 1024 steps.
+            _poll_resilience()

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, replace
 
 from .. import perf
+from ..resilience import InjectedFault, maybe_fault, poll_deadline
 from ..transsys.translate import TranslationResult
 from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
 from .property import ReachabilityGoal
@@ -209,6 +210,9 @@ class QueryEngineStats:
     budget_exhausted: int = 0
     prefix_hits: int = 0
     witness_reuse: int = 0
+    #: queries degraded to ENGINE_FAULT because every stage's solver died
+    #: on an injected fault
+    engine_faults: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -308,7 +312,11 @@ class QueryEngine:
         if result.verdict is Verdict.REACHABLE and result.counterexample is not None:
             if result.counterexample.trace:
                 self._witnesses.append(result.counterexample)
-        self._memo[memo_key] = result
+        if result.verdict is not Verdict.ENGINE_FAULT:
+            # a faulted query is a property of this run's fault plan, not of
+            # the goal: memoising it would let one injected crash answer
+            # later sibling goals with a degraded verdict
+            self._memo[memo_key] = result
         return result
 
     # ------------------------------------------------------------------ #
@@ -402,7 +410,12 @@ class QueryEngine:
         last: CheckResult | None = None
         tripped_before_stage: str | None = None
 
+        solver_faults: list[InjectedFault] = []
         for index, (label, model) in enumerate(stages):
+            # the per-job wall-clock deadline (scheduler resilience) is
+            # polled between stages -- solver stages are the long-running
+            # part of a job besides interpreter runs
+            poll_deadline()
             tripped_before_stage = self._budget_spent(
                 budget, deadline, spent_steps, spent_solver_calls
             )
@@ -413,10 +426,17 @@ class QueryEngine:
             )
             try:
                 with perf.timed("mc.solve"):
+                    maybe_fault("mc.solve", goal.description)
                     result = engine.check(goal)
             except StateSpaceTooLarge:
                 if self._options.engine is EngineKind.EXPLICIT:
                     raise  # a forced engine does not fall through
+                continue
+            except InjectedFault as fault:
+                # a (simulated) solver crash fails this stage only; later
+                # stages may still answer, and an unanswered goal degrades
+                # to the typed ENGINE_FAULT verdict instead of raising
+                solver_faults.append(fault)
                 continue
             engines_tried.append(label)
             spent_steps += result.statistics.explored_states
@@ -428,6 +448,20 @@ class QueryEngine:
                 self.stats.escalations += 1
                 perf.add("mc.query.escalations")
 
+        if last is None and solver_faults:
+            # every stage that ran died on an injected solver fault: degrade
+            # to a typed verdict ("unreached, pessimise"), never raise
+            self.stats.engine_faults += 1
+            perf.add("mc.query.engine_faults")
+            stats = self._empty_statistics()
+            stats.engines_tried = tuple(engines_tried)
+            stats.stop_reason = "engine-fault"
+            stats.time_seconds = time.perf_counter() - started
+            return CheckResult(
+                verdict=Verdict.ENGINE_FAULT,
+                statistics=stats,
+                goal_description=goal.description,
+            )
         return self._finalize(
             goal, goal_slice, last, engines_tried, budget,
             spent_steps, spent_solver_calls, time.perf_counter() - started,

@@ -27,6 +27,10 @@ class Verdict(enum.Enum):
     #: layer treats this as "unreached, pessimise" (the segment keeps its
     #: pessimistic charge) instead of hanging on an unbounded search
     BUDGET_EXHAUSTED = "budget-exhausted"
+    #: every engine stage died on an (injected) solver fault; like budget
+    #: exhaustion the WCET layer degrades to "unreached, pessimise" -- a
+    #: crashing solver must never crash the analysis or shrink a bound
+    ENGINE_FAULT = "engine-fault"
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from ..cfg.graph import ControlFlowGraph
 from ..hw.board import EvaluationBoard, InstrumentedRun
+from ..resilience import InjectedFault
 from ..partition.instrument import InstrumentationPlan, PointKind
 from ..partition.segment import PartitionResult
 from .database import MeasurementDatabase, SegmentMeasurement
@@ -28,6 +29,11 @@ class MeasurementCampaign:
     measurements: int = 0
     end_to_end_max: int = 0
     end_to_end_worst_inputs: dict[str, int] = field(default_factory=dict)
+    #: vectors whose run died on an injected fault (their observations are
+    #: lost; the analyzer floors the bound at static estimates in response)
+    faulted_runs: int = 0
+    #: diagnostics of the injected faults that cost vectors
+    fault_events: list[str] = field(default_factory=list)
 
 
 class MeasurementRunner:
@@ -53,10 +59,26 @@ class MeasurementRunner:
         vectors: list[dict[str, int]],
         database: MeasurementDatabase,
     ) -> MeasurementCampaign:
-        """Run every test vector and record all segment measurements."""
+        """Run every test vector and record all segment measurements.
+
+        A run that dies on an injected fault loses that vector's
+        observations but never the campaign: the loss is counted
+        (``faulted_runs``) and the analyzer compensates by flooring every
+        segment at its static pessimisation, so a fault can only ever
+        *raise* the reported bound.
+        """
         campaign = MeasurementCampaign()
         for vector in vectors:
-            instrumented = self._board.run_instrumented(self._function, vector, self._plan)
+            try:
+                instrumented = self._board.run_instrumented(
+                    self._function, vector, self._plan
+                )
+            except InjectedFault as fault:
+                campaign.faulted_runs += 1
+                campaign.fault_events.append(
+                    f"measurement run lost to injected fault: {fault}"
+                )
+                continue
             measurements = self.extract_measurements(instrumented, vector)
             database.extend(measurements)
             campaign.runs += 1

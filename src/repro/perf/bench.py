@@ -25,7 +25,13 @@ Times the whole-pipeline trajectory on the synthetic applications:
   857-block industrial function -- the workload that used to take minutes
   per query -- where every query must complete within its
   :class:`~repro.mc.query.QueryBudget` (answered or explicitly
-  budget-exhausted, never unbounded).
+  budget-exhausted, never unbounded);
+* **resilience** (since ``repro-bench-perf/5``) -- the fault-injection
+  layer of :mod:`repro.resilience`: a clean scheduler run versus the same
+  run with an armed-but-never-firing fault plan (the clean-path overhead of
+  the injection hooks, required identical bounds), and a chaos run with a
+  10% ``job.execute`` / ``mc.solve`` fault rate that must complete with
+  every bound at least as large as the fault-free bound.
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -49,7 +55,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/4"
+BENCH_SCHEMA = "repro-bench-perf/5"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -371,6 +377,102 @@ def _bench_callgraph_scheduling(seed: int) -> tuple[dict[str, float], dict[str, 
     return timings, details
 
 
+def _bench_resilience(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the fault-injection layer (resilience section).
+
+    Four scheduler runs on the call-chain workload:
+
+    * *clean* -- no fault plan at all;
+    * *empty plan* -- ``FaultPlan()`` exactly as the CLI builds one when no
+      ``--inject-fault`` flag is given: this is the production fault-free
+      path, and its delta against *clean* is the clean-path overhead that
+      must stay under 2%;
+    * *armed plan* -- specs on ``mc.solve`` and ``interp.step`` at a hit
+      count that never arrives, so the injector and ambient context are
+      live on every hot path but nothing fires; must be bit-identical to
+      the clean run;
+    * *chaos* -- a 10% ``job.execute``/``mc.solve`` fault rate; must
+      complete with every bound >= its fault-free counterpart.
+    """
+    from ..pipeline.analyzer import AnalyzerConfig
+    from ..project import Project, ProjectScheduler
+    from ..resilience import FaultPlan, FaultSpec
+    from ..testgen.hybrid import HybridOptions
+    from ..workloads.multi import generate_call_chain_workload
+
+    workload = generate_call_chain_workload(seed=seed)
+    project = Project.from_sources(workload.sources)
+
+    def config() -> AnalyzerConfig:
+        return AnalyzerConfig(
+            path_bound=2,
+            hybrid=HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1),
+            extra_random_vectors=5,
+            exhaustive_limit=None,
+        )
+
+    def run(plan: FaultPlan | None):
+        return ProjectScheduler(
+            project, config=config(), fault_plan=plan
+        ).run()
+
+    armed_plan = FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec.parse("mc.solve:raise@1000000000"),
+            FaultSpec.parse("interp.step:raise@1000000000"),
+        ),
+    )
+    chaos_plan = FaultPlan.from_args(
+        ["job.execute:rate=0.1", "mc.solve:rate=0.1"], seed=seed
+    )
+
+    clean_s, clean = _best_of(3, lambda: run(None))
+    empty_s, empty = _best_of(3, lambda: run(FaultPlan(seed=seed)))
+    armed_s, armed = _best_of(2, lambda: run(armed_plan))
+    chaos_s, chaos = _best_of(1, lambda: run(chaos_plan))
+
+    def payloads(report) -> list[dict]:
+        return [summary.result_payload() for summary in report.functions]
+
+    clean_bounds = {
+        (s.unit, s.function): s.wcet_bound_cycles for s in clean.functions
+    }
+    bound_safety = all(
+        s.wcet_bound_cycles >= clean_bounds[(s.unit, s.function)]
+        for s in chaos.functions
+        if s.wcet_bound_cycles is not None
+    )
+    overhead_percent = (empty_s - clean_s) / max(clean_s, 1e-9) * 100.0
+    armed_overhead_percent = (armed_s - clean_s) / max(clean_s, 1e-9) * 100.0
+
+    timings = {
+        "resilience_clean": clean_s,
+        "resilience_empty_plan": empty_s,
+        "resilience_armed_plan": armed_s,
+        "resilience_chaos": chaos_s,
+    }
+    details = {
+        "workload_seed": workload.seed,
+        "functions": len(clean.functions),
+        "armed_plan": armed_plan.describe(),
+        "chaos_plan": chaos_plan.describe(),
+        "clean_identical_under_empty_plan": payloads(clean) == payloads(empty),
+        "clean_identical_under_armed_plan": payloads(clean) == payloads(armed),
+        "overhead_percent": overhead_percent,
+        "overhead_within_2_percent": overhead_percent < 2.0,
+        "armed_overhead_percent": armed_overhead_percent,
+        "chaos_completed": all(
+            s.wcet_bound_cycles is not None for s in chaos.functions
+        ),
+        "chaos_quarantined": chaos.quarantined_functions,
+        "chaos_degraded": chaos.degraded_functions,
+        "chaos_retries": chaos.total_retries,
+        "bound_safety": bound_safety,
+    }
+    return timings, details
+
+
 def run_perf_bench(
     seed: int = 2005,
     repeats: int = 3,
@@ -449,6 +551,7 @@ def run_perf_bench(
         app, small_app, industrial_model, small_model, repeats
     )
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
+    resilience_timings, resilience_details = _bench_resilience(seed)
 
     liveness_iterations = bitset_block_liveness(cfg).iterations
     reaching_iterations = bitset_reaching_definitions(cfg).iterations
@@ -476,6 +579,7 @@ def run_perf_bench(
             **pipeline_timings,
             **mcquery_timings,
             **callgraph_timings,
+            **resilience_timings,
         },
         "speedup": {
             "liveness": reference_liveness_s / max(optimised_liveness_s, 1e-9),
@@ -490,7 +594,11 @@ def run_perf_bench(
         "pipeline": pipeline_details,
         "mcquery": mcquery_details,
         "callgraph": callgraph_details,
-        "results_match": results_match,
+        "resilience": resilience_details,
+        "results_match": results_match
+        and resilience_details["clean_identical_under_empty_plan"]
+        and resilience_details["clean_identical_under_armed_plan"]
+        and resilience_details["bound_safety"],
         "repeats": repeats,
         "global_ranges_variables": len(ranges_result.global_ranges),
         "perf": perf.report(),
@@ -592,6 +700,28 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{timings['callgraph_cache_cold']:>11.4f}s "
             f"{timings['callgraph_cache_warm']:>11.4f}s "
             f"({callgraph['cache_warm_hits']} warm hits)",
+        ]
+    resilience = report.get("resilience")
+    if resilience:
+        lines += [
+            "resilience (fault-injection layer):",
+            f"{'clean run':<22} {'-':>12} "
+            f"{timings['resilience_clean']:>11.4f}s "
+            f"({resilience['functions']} functions)",
+            f"{'empty fault plan':<22} {'-':>12} "
+            f"{timings['resilience_empty_plan']:>11.4f}s "
+            f"(clean-path overhead {resilience['overhead_percent']:+.1f}%, "
+            f"identical results: {resilience['clean_identical_under_empty_plan']})",
+            f"{'armed (never fires)':<22} {'-':>12} "
+            f"{timings['resilience_armed_plan']:>11.4f}s "
+            f"(overhead {resilience['armed_overhead_percent']:+.1f}%, "
+            f"identical results: {resilience['clean_identical_under_armed_plan']})",
+            f"{'chaos (10% faults)':<22} {'-':>12} "
+            f"{timings['resilience_chaos']:>11.4f}s "
+            f"(completed: {resilience['chaos_completed']}, "
+            f"{len(resilience['chaos_degraded'])} degraded, "
+            f"{len(resilience['chaos_quarantined'])} quarantined, "
+            f"bound safety: {resilience['bound_safety']})",
         ]
     if "output_path" in report:
         lines.append(f"report written to {report['output_path']}")

@@ -34,6 +34,11 @@ from ..minic.calls import call_sites
 from ..partition.general import GeneralPartitionOptions, GeneralPartitioner
 from ..partition.instrument import build_instrumentation_plan
 from ..partition.partitioner import PaperPartitioner, PartitionOptions
+from ..resilience import (
+    InjectedFault,
+    current as resilience_context,
+    poll_deadline,
+)
 from ..testgen.hybrid import CoverageSource, HybridOptions, HybridTestDataGenerator
 from ..testgen.inputs import InputSpace
 from ..wcet.end_to_end import EndToEndResult, exhaustive_end_to_end
@@ -65,6 +70,89 @@ class AnalyzerConfig:
     extra_random_vectors: int = 50
     #: interpreter step budget per run
     max_steps_per_run: int = 1_000_000
+
+
+def _partition_function(function, cfg, config: AnalyzerConfig):
+    """Partition *function*'s CFG per the configured partitioner."""
+    if config.partitioner == "paper":
+        return PaperPartitioner(
+            config.path_bound, config.partition_options
+        ).partition(function, cfg)
+    if config.partitioner == "general":
+        options = config.partition_options
+        if not isinstance(options, GeneralPartitionOptions):
+            options = GeneralPartitionOptions(
+                default_loop_bound=config.partition_options.default_loop_bound
+            )
+        return GeneralPartitioner(config.path_bound, options).partition(
+            function, cfg
+        )
+    raise AnalysisError(f"unknown partitioner {config.partitioner!r}")
+
+
+def static_pessimised_report(
+    analyzed: AnalyzedProgram,
+    function_name: str,
+    config: AnalyzerConfig | None = None,
+    callee_bounds: Mapping[str, int] | None = None,
+    reason: str = "job quarantined",
+) -> WcetReport:
+    """A sound WCET report built from static estimates alone -- no execution.
+
+    This is the quarantine route of the project scheduler: when a job keeps
+    crashing or times out, the function still needs *some* sound bound so
+    its callers can be analysed.  Every segment enters the timing schema at
+    its :func:`static_segment_pessimisation` (which dominates anything one
+    execution could cost) and summarised callees keep their interprocedural
+    charges, so the resulting bound is >= any measured bound -- just much
+    coarser.  Nothing here runs test generation, the board or the model
+    checker, so the quarantine path cannot crash the way the job did.
+    """
+    config = config or AnalyzerConfig()
+    bounds = dict(callee_bounds or {})
+    function = analyzed.program.function(function_name)
+    cfg = build_cfg(function)
+    partition = _partition_function(function, cfg, config)
+
+    cost_model = config.cost_model
+    if bounds:
+        cost_model = dataclasses.replace(
+            cost_model,
+            external_call_cycles={
+                **cost_model.external_call_cycles,
+                **bounds,
+            },
+        )
+    pessimised = {
+        segment.segment_id: static_segment_pessimisation(cfg, segment, cost_model)
+        for segment in partition.segments
+    }
+    schema = TimingSchema(
+        cfg,
+        partition,
+        default_loop_bound=config.partition_options.default_loop_bound or 1,
+        callee_bounds=bounds,
+        call_overhead=cost_model.call_overhead,
+    )
+    bound = schema.compute(
+        MeasurementDatabase(), pessimised_segments=pessimised
+    )
+    return WcetReport(
+        function_name=function_name,
+        path_bound=config.path_bound,
+        partition=partition,
+        bound=bound,
+        database=MeasurementDatabase(),
+        end_to_end=None,
+        test_vectors_used=0,
+        infeasible_paths=0,
+        callee_bounds_used=dict(sorted(bounds.items())),
+        summarised_call_sites=sum(
+            1 for site in call_sites(function) if site.name in bounds
+        ),
+        degraded=True,
+        fault_events=[reason],
+    )
 
 
 class WcetAnalyzer:
@@ -123,23 +211,16 @@ class WcetAnalyzer:
     # ------------------------------------------------------------------ #
     def analyze(self) -> WcetReport:
         config = self._config
+        # cooperative wall-clock timeout: the interpreter and the query
+        # engine poll inside their hot loops, and the analysis stages poll
+        # at their boundaries, so a job over its deadline stops at the next
+        # checkpoint even when an individual stage finished quickly
+        poll_deadline()
         function = self._analyzed.program.function(self._function)
         cfg = build_cfg(function)
 
         # 1. partition the CFG into program segments
-        if config.partitioner == "paper":
-            partition = PaperPartitioner(config.path_bound, config.partition_options).partition(
-                function, cfg
-            )
-        elif config.partitioner == "general":
-            options = config.partition_options
-            if not isinstance(options, GeneralPartitionOptions):
-                options = GeneralPartitionOptions(
-                    default_loop_bound=config.partition_options.default_loop_bound
-                )
-            partition = GeneralPartitioner(config.path_bound, options).partition(function, cfg)
-        else:
-            raise AnalysisError(f"unknown partitioner {config.partitioner!r}")
+        partition = _partition_function(function, cfg, config)
 
         # 2. instrumentation plan + simulated board; with callee summaries the
         #    measurement board stubs every summarised callee and charges its
@@ -157,7 +238,9 @@ class WcetAnalyzer:
         generator = HybridTestDataGenerator(
             self._analyzed, self._function, board, partition, cfg, config.hybrid
         )
+        poll_deadline()
         suite = generator.generate()
+        poll_deadline()
 
         # 4. measurement campaign
         database = MeasurementDatabase()
@@ -172,7 +255,19 @@ class WcetAnalyzer:
             raise AnalysisError(
                 "test-data generation produced no vectors; cannot measure anything"
             )
-        runner.run_vectors(vectors, database)
+        campaign = runner.run_vectors(vectors, database)
+
+        # degradation bookkeeping: any injected fault that may have cost
+        # observations (a phase cut short, a vector lost, a solver query
+        # dropped) floors EVERY feasible segment at its static worst-case
+        # estimate below -- lost coverage can only lower measured maxima, so
+        # the static floor is exactly what keeps the bound sound
+        fault_events = list(suite.fault_events) + list(campaign.fault_events)
+        if suite.engine_fault_queries:
+            fault_events.append(
+                f"{suite.engine_fault_queries} model-checking query(ies) "
+                "degraded by injected solver faults"
+            )
 
         # 5. WCET bound via the timing schema; segments whose every path was
         #    proven infeasible contribute nothing (they can never execute),
@@ -188,6 +283,15 @@ class WcetAnalyzer:
             if database.max_cycles(segment.segment_id) is None
             and segment.segment_id not in unreachable
         }
+        floors = None
+        if fault_events:
+            floors = {
+                segment.segment_id: static_segment_pessimisation(
+                    cfg, segment, cost_model
+                )
+                for segment in partition.segments
+                if segment.segment_id not in unreachable
+            }
         schema = TimingSchema(
             cfg,
             partition,
@@ -199,11 +303,13 @@ class WcetAnalyzer:
             database,
             unreachable_segments=unreachable,
             pessimised_segments=pessimised,
+            floor_segments=floors,
         )
 
         # 6. optional exhaustive end-to-end comparison; the verification board
         #    executes the *real* callee bodies (no stubs), so a summarised
-        #    bound is checked against genuine end-to-end behaviour
+        #    bound is checked against genuine end-to-end behaviour.  An
+        #    injected fault here only costs the comparison, never the bound.
         verification_board = board
         if self._callee_bounds:
             verification_board = EvaluationBoard(
@@ -211,9 +317,20 @@ class WcetAnalyzer:
                 cost_model=config.cost_model,
                 max_steps=config.max_steps_per_run,
             )
-        end_to_end = self._maybe_exhaustive(
-            verification_board, generator.input_space
-        )
+        try:
+            end_to_end = self._maybe_exhaustive(
+                verification_board, generator.input_space
+            )
+        except InjectedFault as fault:
+            end_to_end = None
+            fault_events.append(
+                f"exhaustive end-to-end comparison skipped: {fault}"
+            )
+
+        context = resilience_context()
+        if context is not None:
+            for event in fault_events:
+                context.note(event)
 
         return WcetReport(
             function_name=self._function,
@@ -227,6 +344,8 @@ class WcetAnalyzer:
             callee_bounds_used=dict(sorted(self._callee_bounds.items())),
             summarised_call_sites=self._summarised_site_count(function),
             mc_diagnostics=dict(suite.mc_diagnostics),
+            degraded=floors is not None,
+            fault_events=fault_events,
             generator_statistics={
                 "random_targets": len(suite.targets_by_source(CoverageSource.RANDOM)),
                 "genetic_targets": len(suite.targets_by_source(CoverageSource.GENETIC)),
@@ -236,6 +355,7 @@ class WcetAnalyzer:
                 "heuristic_share_percent": int(round(100 * suite.heuristic_share)),
                 "model_checking_queries": suite.model_checking_queries,
                 "model_checking_budget_exhausted": suite.budget_exhausted_queries,
+                "model_checking_engine_faults": suite.engine_fault_queries,
                 "genetic_evaluations": suite.genetic_evaluations,
                 "random_vectors_used": suite.random_vectors_used,
             },

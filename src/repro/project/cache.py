@@ -15,11 +15,27 @@ Results are keyed by a SHA-256 over three components:
 
 Each entry is one small JSON file ``<root>/<key[:2]>/<key>.json`` holding a
 :class:`~repro.project.report.FunctionSummary` payload; the two-character
-shard keeps directories small for big projects.  Writes are atomic
-(temp file + ``os.replace``) so parallel runs sharing a cache directory never
-observe torn entries, and corrupt or schema-mismatched entries read as
-misses.  Hits and misses are counted per instance and into the global
-:mod:`repro.perf` registry (``project.cache.hits`` / ``project.cache.misses``).
+shard keeps directories small for big projects.
+
+Crash safety
+------------
+Writes are atomic (temp file + ``os.replace``) and serialised against other
+writers of the same cache directory by an advisory ``flock`` on
+``<root>/.lock``, so parallel runs sharing a cache never observe torn
+entries.  Entries that are nevertheless unreadable -- a torn write from a
+killed process, bit rot, a hostile edit -- are *quarantined*: moved to the
+``corrupt/`` sibling directory next to a ``*.diag.json`` note, and counted
+(``project.cache.quarantined``), so a bad entry can never poison a run twice
+and the evidence survives for inspection.  Schema-mismatched entries are a
+plain miss and are left in place (they belong to another code version).
+
+Write failures are never silent: they are swallowed (the cache is an
+optimization; an unwritable directory must not discard results), but counted
+per instance (:attr:`ResultCache.write_failures`) and globally
+(``project.cache.write_failures``), and the first failure records a
+warn-once diagnostic the scheduler copies onto the project report.  No
+``.tmp`` file is left behind on any failure path.  :meth:`ResultCache.verify`
+sweeps the whole store on demand (CLI ``cache-verify``).
 """
 
 from __future__ import annotations
@@ -32,14 +48,24 @@ from pathlib import Path
 
 from .. import perf
 from ..pipeline.analyzer import AnalyzerConfig
+from ..resilience import FaultInjector, FaultKind, InjectedFault
 from .model import config_fingerprint
 from .report import FunctionSummary
 
+try:  # advisory locking is POSIX-only; the cache degrades to lockless
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 #: schema tag stored in (and required of) every cache entry; /2 added the
-#: interprocedural summary fields and switched keys to transitive fingerprints
-#: bumped to /3 with the query-engine refactor: cached summaries now
-#: carry budget-exhaustion counts in their generator statistics
-CACHE_SCHEMA = "repro-project-cache/3"
+#: interprocedural summary fields and switched keys to transitive
+#: fingerprints; /3 added budget-exhaustion counts to generator statistics;
+#: /4 added the resilience fields (degraded/quarantined/retries) to
+#: :class:`FunctionSummary` payloads
+CACHE_SCHEMA = "repro-project-cache/4"
+
+#: sibling directory quarantined (corrupt) entries are moved into
+CORRUPT_DIR = "corrupt"
 
 
 class ResultCache:
@@ -50,7 +76,15 @@ class ResultCache:
         self.enabled = enabled and self._root is not None
         self.hits = 0
         self.misses = 0
-        self.store_failures = 0
+        self.write_failures = 0
+        self.read_failures = 0
+        self.quarantined = 0
+        #: warn-once diagnostics (first write failure, quarantines, ...)
+        self.diagnostics: list[str] = []
+        self._warned_write_failure = False
+        #: injector for the ``cache.read`` / ``cache.write`` fault sites
+        #: (attached by the scheduler or CLI in chaos runs)
+        self.fault_injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -60,6 +94,11 @@ class ResultCache:
     @property
     def root(self) -> Path | None:
         return self._root
+
+    @property
+    def store_failures(self) -> int:
+        """Backwards-compatible alias of :attr:`write_failures`."""
+        return self.write_failures
 
     # ------------------------------------------------------------------ #
     def key_for(self, function_fingerprint: str, config: AnalyzerConfig) -> str:
@@ -77,12 +116,36 @@ class ResultCache:
         return self._root / key[:2] / f"{key}.json"
 
     # ------------------------------------------------------------------ #
+    def _maybe_fault(self, site: str, key: str):
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.check(site, key)
+
+    def _lock(self):
+        """Advisory exclusive lock on ``<root>/.lock`` (context manager)."""
+        return _CacheLock(self._root)
+
+    # ------------------------------------------------------------------ #
     def get(self, key: str) -> FunctionSummary | None:
-        """Load the summary stored under *key*, or ``None`` on a miss."""
+        """Load the summary stored under *key*, or ``None`` on a miss.
+
+        Unreadable I/O (real or injected) counts ``read_failures`` and reads
+        as a miss; a corrupt entry is quarantined and reads as a miss.
+        """
         if not self.enabled:
             return None
-        with perf.timed("project.cache.lookup"):
-            summary = self._read(key)
+        try:
+            corrupt_payload = False
+            spec = self._maybe_fault("cache.read", key)
+            if spec is not None and spec.kind is FaultKind.CORRUPT:
+                corrupt_payload = True
+            with perf.timed("project.cache.lookup"):
+                summary = self._read(key, force_corrupt=corrupt_payload)
+        except InjectedFault as fault:
+            self.read_failures += 1
+            perf.add("project.cache.read_failures")
+            self.diagnostics.append(f"cache read failed for {key[:12]}…: {fault}")
+            summary = None
         if summary is None:
             self.misses += 1
             perf.add("project.cache.misses")
@@ -92,40 +155,61 @@ class ResultCache:
         summary.from_cache = True
         return summary
 
-    def _read(self, key: str) -> FunctionSummary | None:
+    def _read(self, key: str, force_corrupt: bool = False) -> FunctionSummary | None:
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+        except OSError as error:
+            self.read_failures += 1
+            perf.add("project.cache.read_failures")
+            self.diagnostics.append(f"cache read failed for {key[:12]}…: {error}")
+            return None
+        if force_corrupt:
+            # a CORRUPT fault at cache.read simulates a torn entry being
+            # discovered at read time: garble the bytes we just read
+            text = text[: max(1, len(text) // 2)]
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            self._quarantine(path, key, f"unparsable JSON: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, key, "payload is not a JSON object")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            # a different (older/newer) code version's entry: miss, not corrupt
             return None
         summary = payload.get("summary")
         if not isinstance(summary, dict):
+            self._quarantine(path, key, "entry has no summary object")
             return None
         try:
             return FunctionSummary.from_dict(summary)
-        except TypeError:
+        except TypeError as error:
+            self._quarantine(path, key, f"summary payload malformed: {error}")
             return None
 
+    # ------------------------------------------------------------------ #
     def put(self, key: str, summary: FunctionSummary) -> None:
         """Store *summary* under *key* (atomic; no-op when disabled).
 
         The cache is an optimization: an unwritable directory must not
         discard the analysis results it was asked to remember, so storage
-        failures are swallowed and counted (``store_failures`` /
-        ``project.cache.store_failures``) instead of raised.
+        failures are swallowed -- but counted (``write_failures`` /
+        ``project.cache.write_failures``) and surfaced once as a diagnostic,
+        and no temp file survives the failure.
         """
         if not self.enabled:
             return
         path = self.path_for(key)
-        payload = {
-            "schema": CACHE_SCHEMA,
-            "key": key,
-            "summary": summary.result_payload(),
-        }
+        text = json.dumps(
+            {"schema": CACHE_SCHEMA, "key": key, "summary": summary.result_payload()},
+            indent=2,
+        )
         try:
-            with perf.timed("project.cache.store"):
+            with perf.timed("project.cache.store"), self._lock():
                 path.parent.mkdir(parents=True, exist_ok=True)
                 handle = tempfile.NamedTemporaryFile(
                     "w",
@@ -136,15 +220,117 @@ class ResultCache:
                     encoding="utf-8",
                 )
                 try:
+                    spec = self._maybe_fault("cache.write", key)
+                    if spec is not None and spec.kind is FaultKind.CORRUPT:
+                        # simulate a torn write: persist a truncated entry
+                        text = text[: max(1, len(text) // 2)]
                     with handle:
-                        json.dump(payload, handle, indent=2)
+                        handle.write(text)
                         handle.write("\n")
                     os.replace(handle.name, path)
                 except BaseException:
                     os.unlink(handle.name)
                     raise
-        except OSError:
-            self.store_failures += 1
+        except (OSError, InjectedFault) as error:
+            self.write_failures += 1
+            perf.add("project.cache.write_failures")
             perf.add("project.cache.store_failures")
+            if not self._warned_write_failure:
+                self._warned_write_failure = True
+                self.diagnostics.append(
+                    f"cache writes are failing (first: {key[:12]}…: {error}); "
+                    "results are kept in memory but will not be reused"
+                )
             return
         perf.add("project.cache.stores")
+
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a corrupt entry to ``corrupt/`` with a diagnostic note."""
+        assert self._root is not None
+        target_dir = self._root / CORRUPT_DIR
+        try:
+            with self._lock():
+                target_dir.mkdir(parents=True, exist_ok=True)
+                target = target_dir / path.name
+                os.replace(path, target)
+                diag = target_dir / f"{path.stem}.diag.json"
+                diag.write_text(
+                    json.dumps({"key": key, "reason": reason}, indent=2) + "\n",
+                    encoding="utf-8",
+                )
+        except OSError:
+            # quarantine is best-effort; the entry still reads as a miss
+            pass
+        self.quarantined += 1
+        perf.add("project.cache.quarantined")
+        self.diagnostics.append(
+            f"quarantined corrupt cache entry {key[:12]}…: {reason}"
+        )
+
+    def verify(self) -> dict[str, object]:
+        """Sweep every entry, quarantining corrupt ones.
+
+        Returns ``{"checked": n, "ok": n, "quarantined": n,
+        "schema_mismatch": n, "entries": [...diagnostics...]}``.
+        """
+        report: dict[str, object] = {
+            "checked": 0,
+            "ok": 0,
+            "quarantined": 0,
+            "schema_mismatch": 0,
+            "entries": [],
+        }
+        if not self.enabled or self._root is None or not self._root.is_dir():
+            return report
+        notes: list[str] = report["entries"]  # type: ignore[assignment]
+        for shard in sorted(self._root.iterdir()):
+            if not shard.is_dir() or shard.name == CORRUPT_DIR:
+                continue
+            for path in sorted(shard.glob("*.json")):
+                key = path.stem
+                report["checked"] = int(report["checked"]) + 1
+                quarantined_before = self.quarantined
+                summary = self._read(key)
+                if summary is not None:
+                    report["ok"] = int(report["ok"]) + 1
+                elif self.quarantined > quarantined_before:
+                    report["quarantined"] = int(report["quarantined"]) + 1
+                    notes.append(self.diagnostics[-1])
+                else:
+                    report["schema_mismatch"] = int(report["schema_mismatch"]) + 1
+                    notes.append(f"schema mismatch (stale version): {key[:12]}…")
+        perf.add("project.cache.verified_entries", int(report["checked"]))
+        return report
+
+
+class _CacheLock:
+    """Advisory exclusive ``flock`` on ``<root>/.lock`` (best-effort)."""
+
+    def __init__(self, root: Path | None):
+        self._root = root
+        self._handle = None
+
+    def __enter__(self):
+        if fcntl is None or self._root is None:
+            return self
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._root / ".lock", "a+")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            # lockless operation beats failing the write outright
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock cannot really fail
+                pass
+            self._handle.close()
+            self._handle = None
+        return False

@@ -19,8 +19,10 @@ from typing import Any
 from ..wcet.report import WcetReport
 
 #: schema tag of the JSON project report
-#: bumped to /3 with the query-engine refactor (budget-exhaustion totals)
-PROJECT_REPORT_SCHEMA = "repro-project-report/3"
+#: bumped to /3 with the query-engine refactor (budget-exhaustion totals);
+#: /4 added the resilience section (quarantined/degraded/retries/pool
+#: restarts, fault plan, diagnostics)
+PROJECT_REPORT_SCHEMA = "repro-project-report/4"
 
 
 @dataclass
@@ -57,6 +59,18 @@ class FunctionSummary:
     cache_key: str = ""
     #: True when the summary was loaded from the cache instead of computed
     from_cache: bool = False
+    #: True when injected faults forced part of the analysis onto the static
+    #: pessimisation route (the bound is still sound, just coarser)
+    degraded: bool = False
+    #: why the result is degraded (None when ``degraded`` is False)
+    degraded_reason: str | None = None
+    #: True when the job itself kept crashing/timing out and the whole
+    #: function was pessimised from static estimates (no measurement at all)
+    quarantined: bool = False
+    #: transient failures retried before this result was produced
+    retries: int = 0
+    #: descriptions of injected faults / degradations observed during the job
+    fault_events: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -83,6 +97,11 @@ class FunctionSummary:
             callee_bounds_used=dict(report.callee_bounds_used),
             summarised_call_sites=report.summarised_call_sites,
             cache_key=cache_key,
+            degraded=report.degraded,
+            degraded_reason="; ".join(report.fault_events) or None
+            if report.degraded
+            else None,
+            fault_events=list(report.fault_events),
         )
 
     # ------------------------------------------------------------------ #
@@ -98,10 +117,14 @@ class FunctionSummary:
         """The cache- and scheduling-independent identity of the result.
 
         Serial and parallel runs must agree on this payload exactly; it
-        excludes ``from_cache`` (a property of the run, not of the result).
+        excludes ``from_cache``, ``retries`` and ``fault_events`` --
+        properties of the run that produced the result (where it ran, what
+        infrastructure trouble it survived), not of the result itself.
         """
         payload = self.to_dict()
         payload.pop("from_cache")
+        payload.pop("retries")
+        payload.pop("fault_events")
         return payload
 
 
@@ -139,6 +162,16 @@ class ProjectReport:
     #: call-graph export (functions, edges, waves, cycles, diagnostics)
     callgraph: dict[str, Any] | None = None
     elapsed_seconds: float = 0.0
+    #: process pools re-created after a death before giving up on pooling
+    pool_restarts: int = 0
+    #: cache writes that failed (swallowed but never silent)
+    cache_write_failures: int = 0
+    #: corrupt cache entries quarantined to ``corrupt/`` during the run
+    cache_quarantined: int = 0
+    #: descriptions of the injected fault plan (empty outside chaos runs)
+    fault_plan: list[str] = field(default_factory=list)
+    #: warn-once run diagnostics (cache write failures, quarantines, ...)
+    diagnostics: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @property
@@ -173,6 +206,28 @@ class ProjectReport:
             for summary in self.functions
         )
 
+    @property
+    def quarantined_functions(self) -> list[str]:
+        """Qualified names of functions analysed via quarantine pessimisation."""
+        return [
+            f"{summary.unit}:{summary.function}"
+            for summary in self.functions
+            if summary.quarantined
+        ]
+
+    @property
+    def degraded_functions(self) -> list[str]:
+        """Qualified names of functions with (partially) degraded results."""
+        return [
+            f"{summary.unit}:{summary.function}"
+            for summary in self.functions
+            if summary.degraded
+        ]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(summary.retries for summary in self.functions)
+
     def function_payloads(self) -> list[dict[str, Any]]:
         """Per-function result payloads (the serial-vs-parallel invariant)."""
         return [summary.result_payload() for summary in self.functions]
@@ -194,6 +249,8 @@ class ProjectReport:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "directory": self.cache_dir,
+                "write_failures": self.cache_write_failures,
+                "quarantined_entries": self.cache_quarantined,
             },
             "execution": {
                 "mode": self.mode,
@@ -201,6 +258,14 @@ class ProjectReport:
                 "workers": self.workers,
                 "waves": self.waves,
                 "elapsed_seconds": self.elapsed_seconds,
+            },
+            "resilience": {
+                "fault_plan": list(self.fault_plan),
+                "quarantined_functions": self.quarantined_functions,
+                "degraded_functions": self.degraded_functions,
+                "retries": self.total_retries,
+                "pool_restarts": self.pool_restarts,
+                "diagnostics": list(self.diagnostics),
             },
             "interprocedural": {
                 "summary_reuse_calls": self.summary_reuse_calls,
@@ -241,6 +306,37 @@ class ProjectReport:
                 f"{self.total_budget_exhausted_queries} query(ies) "
                 "(segments pessimised, not hung)"
             )
+        if self.fault_plan:
+            lines.append(
+                f"  injected fault plan       : {', '.join(self.fault_plan)}"
+            )
+        quarantined = self.quarantined_functions
+        degraded = self.degraded_functions
+        if quarantined:
+            lines.append(
+                f"  quarantined functions     : {len(quarantined)} "
+                f"({', '.join(quarantined)}) -- static pessimisation, "
+                "bounds remain sound"
+            )
+        if degraded:
+            lines.append(
+                f"  degraded functions        : {len(degraded)} "
+                f"({', '.join(degraded)})"
+            )
+        if self.total_retries:
+            lines.append(f"  transient retries         : {self.total_retries}")
+        if self.pool_restarts:
+            lines.append(f"  pool restarts             : {self.pool_restarts}")
+        if self.cache_write_failures:
+            lines.append(
+                f"  cache write failures      : {self.cache_write_failures}"
+            )
+        if self.cache_quarantined:
+            lines.append(
+                f"  cache entries quarantined : {self.cache_quarantined}"
+            )
+        for diagnostic in self.diagnostics:
+            lines.append(f"  ! {diagnostic}")
         lines.append("  per-function results:")
         header = (
             f"    {'unit':<16} {'function':<16} {'wave':>4} {'seg':>4} {'ip':>5} "
@@ -253,6 +349,11 @@ class ProjectReport:
                 if summary.measured_wcet_cycles is not None
                 else "---"
             )
+            state = ""
+            if summary.quarantined:
+                state = "  [quarantined]"
+            elif summary.degraded:
+                state = "  [degraded]"
             lines.append(
                 f"    {summary.unit:<16} {summary.function:<16} "
                 f"{summary.wave:>4} "
@@ -260,6 +361,7 @@ class ProjectReport:
                 f"{summary.measurement_runs:>6} {summary.wcet_bound_cycles:>7} "
                 f"{measured:>9} {str(summary.safe):>5} "
                 f"{'hit' if summary.from_cache else 'miss':>6}"
+                f"{state}"
             )
         for failure in self.failures:
             lines.append(

@@ -43,7 +43,24 @@ from dataclasses import dataclass, field
 
 from .. import perf
 from ..minic import parse_and_analyze
-from ..pipeline.analyzer import AnalyzerConfig, WcetAnalyzer
+from ..pipeline.analyzer import (
+    AnalyzerConfig,
+    WcetAnalyzer,
+    static_pessimised_report,
+)
+from ..resilience import (
+    Deadline,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    JobTimeout,
+    ResilienceContext,
+    RetryPolicy,
+    activate,
+    classify_error,
+)
 from .cache import ResultCache
 from .model import Project, ProjectError, ProjectFunction
 from .report import FunctionSummary, ProjectFailure, ProjectReport
@@ -55,6 +72,9 @@ class JobState(enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: the job kept crashing or timed out; the function was pessimised from
+    #: static estimates so its callers still analyse against a sound bound
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -93,6 +113,12 @@ class AnalysisJob:
     state: JobState = JobState.PENDING
     summary: FunctionSummary | None = None
     error: str | None = None
+    #: execution attempts so far (pool and serial combined)
+    attempts: int = 0
+    #: transient failures retried before the job settled
+    retries: int = 0
+    #: diagnostics of the failures/faults this job survived
+    fault_events: list[str] = field(default_factory=list)
 
     @property
     def qualified_name(self) -> str:
@@ -110,18 +136,43 @@ def _execute_analysis(
     function_name: str,
     config: AnalyzerConfig,
     callee_bounds: dict[str, int],
+    fault_plan: FaultPlan | None = None,
+    job_timeout_seconds: float | None = None,
+    inject_job_fault: bool = False,
 ) -> tuple[dict, float]:
     """Analyse one function from its unit source; return (summary dict, seconds).
 
     Module-level so it pickles into process-pool workers; the worker re-parses
     the unit from source, which keeps the inter-process payload to plain
-    strings plus the (picklable, dataclass-only) config and bound mapping.
+    strings plus the (picklable, dataclass-only) config, bound mapping and
+    fault sub-plan.  ``fault_plan`` carries only the job-internal sites
+    (``mc.solve``, ``interp.step``): each job evaluates them against a fresh
+    injector with its own hit counters, so what fires never depends on how
+    jobs interleave across workers.  ``inject_job_fault`` is the
+    scheduler-decided ``job.execute`` crash (a pure function of plan seed,
+    job name and attempt number, shipped as a flag for the same reason).
     """
     started = time.perf_counter()
+    injector = (
+        FaultInjector(fault_plan)
+        if fault_plan is not None and not fault_plan.is_empty
+        else None
+    )
+    deadline = Deadline(job_timeout_seconds) if job_timeout_seconds else None
     analyzed = parse_and_analyze(source, filename=unit_name)
-    report = WcetAnalyzer(
-        analyzed, function_name, config, callee_bounds=callee_bounds
-    ).analyze()
+    if injector is None and deadline is None and not inject_job_fault:
+        report = WcetAnalyzer(
+            analyzed, function_name, config, callee_bounds=callee_bounds
+        ).analyze()
+    else:
+        with activate(ResilienceContext(injector=injector, deadline=deadline)):
+            if inject_job_fault:
+                raise InjectedFault(
+                    "job.execute", "injected job crash", 1
+                )
+            report = WcetAnalyzer(
+                analyzed, function_name, config, callee_bounds=callee_bounds
+            ).analyze()
     summary = FunctionSummary.from_report(unit_name, config.partitioner, report)
     return summary.to_dict(), time.perf_counter() - started
 
@@ -138,7 +189,23 @@ class ProjectScheduler:
         only: list[str] | None = None,
         interprocedural: bool = True,
         unknown_call_cycles: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        job_timeout_seconds: float | None = None,
+        pool_restart_budget: int = 2,
     ):
+        """``fault_plan``/``retry_policy``/``job_timeout_seconds`` are the
+        resilience knobs: the plan injects deterministic faults (chaos
+        testing; ``None`` or an empty plan changes nothing), the policy
+        bounds transient-failure retries, and the timeout quarantines jobs
+        that overrun their wall-clock allowance.  ``pool_restart_budget``
+        caps how often a died process pool is re-created before the run
+        falls back to serial execution for good.
+
+        The fault plan is deliberately *not* part of :class:`AnalyzerConfig`:
+        the config is fingerprinted into every cache key, and injecting
+        faults must not re-key (or pollute) the cache of clean runs.
+        """
         from ..callgraph.summaries import (
             DEFAULT_UNKNOWN_CALL_CYCLES,
             CalleeSummaryStore,
@@ -157,6 +224,31 @@ class ProjectScheduler:
         )
         self._summaries = CalleeSummaryStore()
         self._jobs: list[AnalysisJob] | None = None
+        self._fault_plan = fault_plan or FaultPlan()
+        self._retry_policy = retry_policy or RetryPolicy(
+            seed=self._fault_plan.seed
+        )
+        self._job_timeout = job_timeout_seconds
+        self._pool_restart_budget = max(0, int(pool_restart_budget))
+        #: scheduler-side injector (cache.*, pool.submit); job-internal
+        #: sites ship to each job as a sub-plan, and job.execute is decided
+        #: per attempt by :meth:`_job_execute_spec`
+        self._injector = (
+            FaultInjector(
+                self._fault_plan.for_sites(
+                    "cache.read", "cache.write", "pool.submit"
+                )
+            )
+            if not self._fault_plan.is_empty
+            else None
+        )
+        self._job_execute_specs = tuple(
+            spec
+            for spec in self._fault_plan.specs
+            if spec.site == "job.execute"
+        )
+        if self._injector is not None:
+            self._cache.fault_injector = self._injector
         #: the resolved project call graph (built lazily with the jobs;
         #: ``None`` in flat mode)
         self.callgraph = None
@@ -167,6 +259,8 @@ class ProjectScheduler:
         self.fallback_reason: str | None = None
         #: number of dependency waves executed by the last run
         self.waves_executed = 0
+        #: process pools re-created after a death (capped by the budget)
+        self.pool_restarts = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -298,6 +392,11 @@ class ProjectScheduler:
             summary_reuse_calls=reused_calls,
             callgraph=self.callgraph.to_dict() if self.callgraph else None,
             elapsed_seconds=time.perf_counter() - started,
+            pool_restarts=self.pool_restarts,
+            cache_write_failures=self._cache.write_failures,
+            cache_quarantined=self._cache.quarantined,
+            fault_plan=self._fault_plan.describe(),
+            diagnostics=list(self._cache.diagnostics),
         )
 
     # ------------------------------------------------------------------ #
@@ -500,6 +599,15 @@ class ProjectScheduler:
         # reuse metric only counts the ones backed by a genuine summary
         summary.summarised_call_sites = job.summary_sites
         summary.transitive_fingerprint = job.transitive_fingerprint
+        # retries and scheduler-level fault events are properties of this
+        # run (excluded from the cached result payload), so the current
+        # job's bookkeeping always wins over whatever a cache entry holds
+        summary.retries = job.retries
+        summary.fault_events = list(job.fault_events) + [
+            event
+            for event in summary.fault_events
+            if event not in job.fault_events
+        ]
 
     # ------------------------------------------------------------------ #
     def _execute(self, jobs: list[AnalysisJob]) -> None:
@@ -517,83 +625,233 @@ class ProjectScheduler:
         if self.fallback_reason is None:
             self.fallback_reason = reason
 
+    def _job_fault_plan(self) -> FaultPlan | None:
+        plan = self._fault_plan.job_plan()
+        return plan if not plan.is_empty else None
+
+    def _job_execute_spec(self, job: AnalysisJob, attempt: int) -> FaultSpec | None:
+        """The ``job.execute`` fault firing on this job's *attempt*, if any.
+
+        The hit counter of the ``job.execute`` site is the per-job attempt
+        number, not a global dispatch counter: the decision is a pure
+        function of (plan seed, job name, attempt), so it is identical
+        whether the attempt runs serially, on the first pool or on a
+        restarted one -- and ``raise@1+`` means "crash every attempt of
+        every job" (the retry-exhaustion/quarantine scenario) while
+        ``raise@1`` crashes only first attempts, which then retry clean.
+        """
+        for spec in self._job_execute_specs:
+            if spec.fires_on(attempt, self._fault_plan.seed, job.qualified_name):
+                perf.add("resilience.injected.job.execute")
+                return spec
+        return None
+
     def _execute_pool(self, jobs: list[AnalysisJob]) -> list[AnalysisJob]:
         """Run *jobs* on a process pool; return the jobs still to be executed.
 
         One pool is created per wave rather than per run: a wave is a full
         submit/drain cycle anyway (callee bounds must be final before the
-        next wave submits), and a fresh pool keeps the died-pool fallback
-        path simple -- the startup cost is tiny next to a function analysis.
+        next wave submits), and a fresh pool keeps the died-pool path simple
+        -- the startup cost is tiny next to a function analysis.  A pool
+        that dies mid-wave is re-created and the unfinished jobs resubmitted
+        up to ``pool_restart_budget`` times; only past that budget (or on a
+        permanent pickling error) does the wave fall back to serial
+        execution.
         """
-        try:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self._workers, len(jobs))
-            )
-        except (OSError, ValueError) as error:
-            perf.add("project.scheduler.pool_fallbacks")
-            perf.add("project.scheduler.pool_fallback.create_failed")
-            self._note_fallback(
-                f"pool-create-failed: {type(error).__name__}: {error}"
-            )
-            return jobs
-        pending: dict[concurrent.futures.Future, AnalysisJob] = {}
-        try:
-            with pool:
-                for job in jobs:
-                    unit = self._project.unit(job.function.unit)
-                    job.state = JobState.RUNNING
-                    future = pool.submit(
-                        _execute_analysis,
-                        unit.name,
-                        unit.source,
-                        job.function.name,
-                        self._job_config(job),
-                        job.callee_bounds,
-                    )
-                    pending[future] = job
-                for future in concurrent.futures.as_completed(pending):
-                    job = pending.pop(future)
-                    try:
-                        payload, seconds = future.result()
-                    except (
-                        concurrent.futures.process.BrokenProcessPool,
-                        pickle.PicklingError,
-                    ):
-                        # pool-level trouble, not a property of this job
-                        raise
-                    except Exception as error:
-                        self._fail(job, error)
-                        continue
-                    self._complete(job, FunctionSummary.from_dict(payload), seconds)
-        except (
-            concurrent.futures.process.BrokenProcessPool,
-            pickle.PicklingError,
-        ) as error:
-            # the pool died (fork bans, OOM-killed worker) or the config does
-            # not pickle: retry the unfinished jobs serially so the batch
-            # still completes
-            perf.add("project.scheduler.pool_fallbacks")
-            perf.add("project.scheduler.pool_fallback.pool_died")
-            self._note_fallback(f"pool-died: {type(error).__name__}: {error}")
-            survivors = [
-                job
-                for job in jobs
-                if job.summary is None and job.state is not JobState.FAILED
-            ]
-            for job in survivors:
-                job.state = JobState.PENDING
-            return survivors
-        if self.mode != "serial-fallback":
-            # a fallback in an earlier wave keeps the report honest even if
-            # this wave's pool came up fine
-            self.mode = "process-pool"
+        pending_jobs = jobs
+        while pending_jobs:
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self._workers, len(pending_jobs))
+                )
+            except (OSError, ValueError) as error:
+                perf.add("project.scheduler.pool_fallbacks")
+                perf.add("project.scheduler.pool_fallback.create_failed")
+                self._note_fallback(
+                    f"pool-create-failed: {type(error).__name__}: {error}"
+                )
+                return pending_jobs
+            try:
+                retry_serially = self._pool_cycle(pool, pending_jobs)
+            except (
+                concurrent.futures.process.BrokenProcessPool,
+                InjectedFault,
+            ) as error:
+                # the pool died (fork bans, OOM-killed worker, an injected
+                # pool.submit fault): restart it for the unfinished jobs
+                # while the restart budget lasts
+                survivors = [
+                    job
+                    for job in pending_jobs
+                    if job.summary is None and job.state is not JobState.FAILED
+                ]
+                for job in survivors:
+                    job.state = JobState.PENDING
+                if self.pool_restarts < self._pool_restart_budget:
+                    self.pool_restarts += 1
+                    perf.add("project.scheduler.pool_restarts")
+                    pending_jobs = survivors
+                    continue
+                perf.add("project.scheduler.pool_fallbacks")
+                perf.add("project.scheduler.pool_fallback.pool_died")
+                self._note_fallback(
+                    f"pool-died: {type(error).__name__}: {error} "
+                    f"(restart budget of {self._pool_restart_budget} spent)"
+                )
+                return survivors
+            except pickle.PicklingError as error:
+                # a config that does not pickle is permanent: restarting the
+                # pool would fail identically, so go straight to serial
+                survivors = [
+                    job
+                    for job in pending_jobs
+                    if job.summary is None and job.state is not JobState.FAILED
+                ]
+                for job in survivors:
+                    job.state = JobState.PENDING
+                perf.add("project.scheduler.pool_fallbacks")
+                perf.add("project.scheduler.pool_fallback.pool_died")
+                self._note_fallback(
+                    f"pool-died: {type(error).__name__}: {error}"
+                )
+                return survivors
+            if self.mode != "serial-fallback":
+                # a fallback in an earlier wave keeps the report honest even
+                # if this wave's pool came up fine
+                self.mode = "process-pool"
+            # jobs whose worker raised a transient error are retried on the
+            # serial path (their attempt count carries over)
+            return retry_serially
         return []
 
+    def _pool_cycle(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        jobs: list[AnalysisJob],
+    ) -> list[AnalysisJob]:
+        """One submit/drain cycle; returns jobs to retry serially."""
+        pending: dict[concurrent.futures.Future, AnalysisJob] = {}
+        retry_serially: list[AnalysisJob] = []
+        with pool:
+            for job in jobs:
+                unit = self._project.unit(job.function.unit)
+                if self._injector is not None:
+                    # an injected pool.submit fault == the pool broke while
+                    # feeding it work; handled by the restart loop above
+                    self._injector.check("pool.submit", job.qualified_name)
+                job.state = JobState.RUNNING
+                spec = self._job_execute_spec(job, job.attempts + 1)
+                inject = spec is not None and spec.kind is FaultKind.RAISE
+                future = pool.submit(
+                    _execute_analysis,
+                    unit.name,
+                    unit.source,
+                    job.function.name,
+                    self._job_config(job),
+                    job.callee_bounds,
+                    self._job_fault_plan(),
+                    self._job_timeout,
+                    inject,
+                )
+                pending[future] = job
+            for future in concurrent.futures.as_completed(pending):
+                job = pending.pop(future)
+                try:
+                    payload, seconds = future.result()
+                except (
+                    concurrent.futures.process.BrokenProcessPool,
+                    pickle.PicklingError,
+                ):
+                    # pool-level trouble, not a property of this job
+                    raise
+                except JobTimeout as error:
+                    job.attempts += 1
+                    self._quarantine(job, f"wall-clock timeout: {error}")
+                    continue
+                except Exception as error:
+                    job.attempts += 1
+                    kind = classify_error(error)
+                    job.fault_events.append(
+                        f"attempt {job.attempts} failed ({kind}): "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    if (
+                        kind == "transient"
+                        and job.attempts < self._retry_policy.max_attempts
+                    ):
+                        job.retries += 1
+                        perf.add("project.scheduler.retries")
+                        job.state = JobState.PENDING
+                        retry_serially.append(job)
+                    elif kind == "transient":
+                        self._quarantine(
+                            job,
+                            f"transient failures exhausted "
+                            f"{self._retry_policy.max_attempts} attempt(s): "
+                            f"{type(error).__name__}: {error}",
+                        )
+                    else:
+                        self._fail(job, error)
+                    continue
+                self._complete(
+                    job, FunctionSummary.from_dict(payload), seconds
+                )
+        return retry_serially
+
     def _execute_serial(self, job: AnalysisJob) -> None:
+        """Run one job in-process, retrying transient failures with backoff."""
         unit = self._project.unit(job.function.unit)
-        job.state = JobState.RUNNING
-        started = time.perf_counter()
-        try:
+        policy = self._retry_policy
+        while True:
+            job.state = JobState.RUNNING
+            if job.attempts > 0:
+                # a backoff sleep precedes every retry attempt; the delay is
+                # a pure function of (seed, job, attempt) so chaos runs
+                # sleep the same deterministic schedule every time
+                time.sleep(policy.delay_for(job.attempts, job.qualified_name))
+            job.attempts += 1
+            started = time.perf_counter()
+            try:
+                summary, seconds = self._run_job(job, unit, started)
+            except JobTimeout as error:
+                # a deterministic computation would time out again: no retry
+                self._quarantine(job, f"wall-clock timeout: {error}")
+                return
+            except Exception as error:
+                kind = classify_error(error)
+                job.fault_events.append(
+                    f"attempt {job.attempts} failed ({kind}): "
+                    f"{type(error).__name__}: {error}"
+                )
+                if kind == "transient" and job.attempts < policy.max_attempts:
+                    job.retries += 1
+                    perf.add("project.scheduler.retries")
+                    continue
+                if kind == "transient":
+                    self._quarantine(
+                        job,
+                        f"transient failures exhausted {policy.max_attempts} "
+                        f"attempt(s): {type(error).__name__}: {error}",
+                    )
+                else:
+                    # a genuine, permanent analysis error: the seed
+                    # behaviour (fail the job, report it) is the right one
+                    self._fail(job, error)
+                return
+            self._complete(job, summary, seconds)
+            return
+
+    def _run_job(
+        self, job: AnalysisJob, unit, started: float
+    ) -> tuple[FunctionSummary, float]:
+        """One in-process analysis attempt under the job's resilience context."""
+        injector_plan = self._job_fault_plan()
+        injector = (
+            FaultInjector(injector_plan) if injector_plan is not None else None
+        )
+        deadline = Deadline(self._job_timeout) if self._job_timeout else None
+        inject = self._job_execute_spec(job, job.attempts)
+        if injector is None and deadline is None and inject is None:
             # reuse the unit's already-analysed AST in-process; the pipeline
             # is deterministic, so this matches the worker's re-parse exactly
             report = WcetAnalyzer(
@@ -602,22 +860,70 @@ class ProjectScheduler:
                 self._job_config(job),
                 callee_bounds=job.callee_bounds,
             ).analyze()
+        else:
+            with activate(
+                ResilienceContext(injector=injector, deadline=deadline)
+            ):
+                if inject is not None and inject.kind is FaultKind.RAISE:
+                    raise InjectedFault(
+                        "job.execute", "injected job crash", 1
+                    )
+                if inject is not None and inject.kind is FaultKind.DELAY:
+                    time.sleep(inject.delay_ms / 1000.0)
+                report = WcetAnalyzer(
+                    unit.analyzed,
+                    job.function.name,
+                    self._job_config(job),
+                    callee_bounds=job.callee_bounds,
+                ).analyze()
+        summary = FunctionSummary.from_report(
+            unit.name, self._config.partitioner, report
+        )
+        return summary, time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, job: AnalysisJob, reason: str) -> None:
+        """Isolate a crashing/timing-out job behind a static pessimised bound.
+
+        The job's function still gets a *sound* (much coarser) WCET summary
+        from :func:`static_pessimised_report`, so its callers analyse
+        normally instead of cascading into failures -- one bad job degrades
+        one bound, not the wave.
+        """
+        unit = self._project.unit(job.function.unit)
+        try:
+            report = static_pessimised_report(
+                unit.analyzed,
+                job.function.name,
+                self._job_config(job),
+                callee_bounds=job.callee_bounds,
+                reason=f"quarantined: {reason}",
+            )
         except Exception as error:
+            # not even the static route works (e.g. the partition itself is
+            # broken): that is a genuine failure, not a resilience case
             self._fail(job, error)
             return
         summary = FunctionSummary.from_report(
             unit.name, self._config.partitioner, report
         )
-        self._complete(job, summary, time.perf_counter() - started)
+        summary.quarantined = True
+        self._adopt_identity(job, summary)
+        job.summary = summary
+        job.state = JobState.QUARANTINED
+        job.error = reason
+        perf.add("project.jobs_quarantined")
 
-    # ------------------------------------------------------------------ #
     def _complete(
         self, job: AnalysisJob, summary: FunctionSummary, seconds: float
     ) -> None:
         self._adopt_identity(job, summary)
         job.summary = summary
         job.state = JobState.DONE
-        self._cache.put(job.cache_key, summary)
+        if not summary.degraded:
+            # a degraded result is an artefact of this run's faults; caching
+            # it would serve pessimised bounds to later clean runs
+            self._cache.put(job.cache_key, summary)
         perf.add("project.jobs_executed")
         perf.record_time("project.analyze_function", seconds)
 
@@ -636,6 +942,10 @@ def analyze_project(
     only: list[str] | None = None,
     interprocedural: bool = True,
     unknown_call_cycles: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    job_timeout_seconds: float | None = None,
+    pool_restart_budget: int = 2,
 ) -> ProjectReport:
     """Convenience wrapper: schedule and run every function of *project*."""
     return ProjectScheduler(
@@ -646,4 +956,8 @@ def analyze_project(
         only=only,
         interprocedural=interprocedural,
         unknown_call_cycles=unknown_call_cycles,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        job_timeout_seconds=job_timeout_seconds,
+        pool_restart_budget=pool_restart_budget,
     ).run()

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..cfg.graph import ControlFlowGraph
 from ..hw.board import EvaluationBoard
 from ..minic.semantic import AnalyzedProgram
+from ..resilience import InjectedFault
 from ..partition.segment import PartitionResult
 from .genetic import GeneticOptions, GeneticTestDataGenerator
 from .inputs import InputSpace
@@ -97,8 +98,13 @@ class TestSuite:
     model_checking_queries: int = 0
     #: queries whose QueryBudget ran out (reported uncovered, pessimised)
     budget_exhausted_queries: int = 0
+    #: queries where every engine stage died on an (injected) solver fault
+    engine_fault_queries: int = 0
     #: query-engine counters (planned/sliced/cache_hits/escalations/...)
     mc_diagnostics: dict[str, int] = field(default_factory=dict)
+    #: injected faults that cut a generation phase short (degradation
+    #: diagnostics; the analyzer pessimises the bound when any occurred)
+    fault_events: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     def targets_by_source(self, source: CoverageSource) -> list[TargetReport]:
@@ -178,11 +184,25 @@ class HybridTestDataGenerator:
         coverage = CoverageTracker.create(self._partition, self._cfg)
         suite = TestSuite(function_name=self._function)
 
-        self._random_phase(coverage, suite)
+        # an injected fault (a crashed interpreter run, a dying solver) cuts
+        # the phase it hit short but never aborts generation: whatever the
+        # remaining phases cover still improves the suite, uncovered targets
+        # keep their pessimistic static charge, and the analyzer floors the
+        # whole bound once any fault fired
+        phases = [("random", lambda: self._random_phase(coverage, suite))]
         if self._options.use_genetic:
-            self._genetic_phase(coverage, suite)
+            phases.append(("genetic", lambda: self._genetic_phase(coverage, suite)))
         if self._options.use_model_checking:
-            self._model_checking_phase(coverage, suite)
+            phases.append(
+                ("model-checking", lambda: self._model_checking_phase(coverage, suite))
+            )
+        for phase_name, phase in phases:
+            try:
+                phase()
+            except InjectedFault as fault:
+                suite.fault_events.append(
+                    f"{phase_name} phase cut short by injected fault: {fault}"
+                )
 
         # final bookkeeping: record provenance of targets covered in phase 1/2
         reported = {report.target.key for report in suite.reports}
@@ -273,11 +293,13 @@ class HybridTestDataGenerator:
                     TargetReport(target=target, source=CoverageSource.INFEASIBLE)
                 )
             else:
-                # UNKNOWN and BUDGET_EXHAUSTED both pessimise: the target
-                # stays uncovered, the segment keeps its static charge
+                # UNKNOWN, BUDGET_EXHAUSTED and ENGINE_FAULT all pessimise:
+                # the target stays uncovered, the segment keeps its static
+                # charge
                 suite.reports.append(
                     TargetReport(target=target, source=CoverageSource.UNCOVERED)
                 )
         suite.model_checking_queries = generator.statistics.queries
         suite.budget_exhausted_queries = generator.statistics.budget_exhausted
+        suite.engine_fault_queries = generator.statistics.engine_faults
         suite.mc_diagnostics = generator.query_diagnostics()

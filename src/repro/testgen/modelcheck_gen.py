@@ -40,6 +40,9 @@ class TargetStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNKNOWN = "unknown"
     BUDGET_EXHAUSTED = "budget-exhausted"
+    #: every engine stage died on an (injected) solver fault; the target
+    #: stays uncovered and its segment keeps the pessimistic static charge
+    ENGINE_FAULT = "engine-fault"
 
 
 @dataclass
@@ -59,6 +62,7 @@ class ModelCheckGeneratorStatistics:
     infeasible: int = 0
     unknown: int = 0
     budget_exhausted: int = 0
+    engine_faults: int = 0
     total_time_seconds: float = 0.0
 
 
@@ -172,6 +176,13 @@ class ModelCheckingTestDataGenerator:
             return ModelCheckOutcome(
                 target=target,
                 status=TargetStatus.BUDGET_EXHAUSTED,
+                statistics=result.statistics,
+            )
+        if result.verdict is Verdict.ENGINE_FAULT:
+            self.statistics.engine_faults += 1
+            return ModelCheckOutcome(
+                target=target,
+                status=TargetStatus.ENGINE_FAULT,
                 statistics=result.statistics,
             )
         self.statistics.unknown += 1

@@ -38,6 +38,11 @@ class WcetReport:
     #: escalations/budget_exhausted/...); budget-exhausted targets stay
     #: uncovered, so their segments keep the pessimistic static charge
     mc_diagnostics: dict[str, int] = field(default_factory=dict)
+    #: True when injected faults forced part of the analysis onto the static
+    #: pessimisation route; the bound is sound but coarser than a clean run's
+    degraded: bool = False
+    #: diagnostics of the faults/degradations observed during the analysis
+    fault_events: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,6 +105,13 @@ class WcetReport:
                     f"  mc budget exhausted       : {exhausted} "
                     "(targets pessimised, not hung)"
                 )
+        if self.degraded:
+            lines.append(
+                "  DEGRADED result           : faults forced static "
+                "pessimisation (bound remains sound)"
+            )
+            for event in self.fault_events:
+                lines.append(f"    - {event}")
         pessimised = self.bound.pessimised_segments
         if pessimised:
             lines.append(

@@ -173,6 +173,7 @@ class TimingSchema:
         database: MeasurementDatabase,
         unreachable_segments: set[int] | None = None,
         pessimised_segments: Mapping[int, int] | None = None,
+        floor_segments: Mapping[int, int] | None = None,
     ) -> WcetBound:
         """Combine per-segment maxima into the WCET bound.
 
@@ -184,9 +185,18 @@ class TimingSchema:
         (uncovered targets, exhausted query budgets) to a static worst-case
         estimate (:func:`static_segment_pessimisation`): they enter the
         bound at that estimate instead of failing the computation.
+        ``floor_segments`` maps segments to a static lower floor applied *on
+        top of* measurement: ``weight = max(measured, floor)``.  The
+        degradation path uses it when a fault may have cost observations
+        (a vector lost mid-campaign, a solver query dropped): flooring every
+        feasible segment at its static estimate keeps the bound at least as
+        large as both the fault-free bound and anything actually observed.
         """
         weights = self._segment_weights(
-            database, unreachable_segments or set(), pessimised_segments or {}
+            database,
+            unreachable_segments or set(),
+            pessimised_segments or {},
+            floor_segments or {},
         )
         clusters = self._loop_clusters()
         cluster_of: dict[int, int] = {}
@@ -278,6 +288,7 @@ class TimingSchema:
         database: MeasurementDatabase,
         unreachable: set[int],
         pessimised: Mapping[int, int],
+        floors: Mapping[int, int],
     ) -> dict[int, SegmentContribution]:
         iteration = self._iteration_factors()
         weights: dict[int, SegmentContribution] = {}
@@ -294,6 +305,11 @@ class TimingSchema:
                     f"segment {segment.segment_id} has no measurements; "
                     "run the measurement campaign first"
                 )
+            if segment.segment_id not in unreachable:
+                floor = floors.get(segment.segment_id)
+                if floor is not None and floor > max_cycles:
+                    max_cycles = floor
+                    statically_pessimised = True
             call_floor = self._summarised_call_floor(segment.block_ids)
             if segment.segment_id not in unreachable:
                 max_cycles = max(max_cycles, call_floor)
