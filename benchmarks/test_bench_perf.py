@@ -107,12 +107,37 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     ):
         assert timings[key] >= 0.0, key
 
+    # the service section: the daemon's warm hits are content-addressed
+    # lookups, an incremental session re-analyses only the frontier, and
+    # the served payloads match a cold run of the edited sources exactly
+    service = report["service"]
+    assert service["incremental_identical"], (
+        "served incremental result diverged from a cold run of the same sources"
+    )
+    assert service["incremental_frontier"] == [
+        "unit_0.c:diamond_left",
+        "unit_0.c:task_0",
+    ]
+    assert len(service["incremental_reused"]) == 7
+    assert service["jobs"]["completed"] == 2
+    assert service["jobs"]["deduplicated"] >= 1
+    assert service["requests_per_second"] > 0
+    for key in (
+        "service_cold_run",
+        "service_incremental_run",
+        "service_warm_submit",
+        "service_result_fetch",
+        "service_result_304",
+    ):
+        assert timings[key] >= 0.0, key
+
     # the report on disk is the artefact future PRs diff against
     on_disk = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
     assert on_disk["speedup"]["combined"] == report["speedup"]["combined"]
     assert on_disk["workload"]["basic_blocks"] == industrial_app.basic_blocks
     assert on_disk["pipeline"] == pipeline
     assert on_disk["mcquery"] == mcquery
+    assert on_disk["service"] == service
 
     lines = [
         "Perf trajectory: pipeline hot paths on the synthetic applications",

@@ -27,9 +27,21 @@ tooling:
     ``--call-graph`` prints the resolved call graph with waves and
     diagnostics, ``--no-interprocedural`` restores the flat PR 2 behaviour.
 
+``repro-wcet serve --cache-dir DIR --jobs N``
+    run the long-running analysis service: an HTTP/JSON daemon that keeps
+    one result cache warm across submissions, deduplicates identical
+    in-flight work by transitive fingerprint and serves content-addressed
+    reports with ETag conditional gets (see README "Running as a service").
+
+``repro-wcet submit FILE... --server URL``
+    submit source files to a running service and print the job status;
+    ``--watch`` polls to completion and prints the report JSON,
+    ``--session NAME`` enables incremental re-analysis across edits.
+
 ``repro-wcet cache-verify``
     sweep the persistent result cache, moving corrupt entries into its
-    ``corrupt/`` quarantine directory and reporting what was found.
+    ``corrupt/`` quarantine directory and reporting what was found
+    (``--json`` for machine-readable output including live cache stats).
 
 ``repro-wcet bench``
     time the pipeline hot paths (dataflow, partitioning, model checking) on
@@ -98,7 +110,7 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         help="inject a deterministic fault, e.g. cache.write:raise@1, "
         "mc.solve:raise, job.execute:rate=0.1, interp.step:delay=5@100 "
         "(repeatable; sites: cache.read, cache.write, pool.submit, "
-        "job.execute, mc.solve, interp.step)",
+        "job.execute, mc.solve, interp.step, service.request)",
     )
     parser.add_argument(
         "--fault-seed", type=int, default=0, metavar="N",
@@ -237,10 +249,17 @@ def _cmd_project(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    import json
+
     from .project import ResultCache
 
     cache = ResultCache(args.cache_dir)
     report = cache.verify()
+    if args.json_output:
+        payload = dict(report)
+        payload["stats"] = cache.stats()
+        print(json.dumps(payload, indent=2))
+        return 0 if not report["quarantined"] else 1
     print(f"cache directory : {args.cache_dir}")
     print(f"entries checked : {report['checked']}")
     print(f"entries ok      : {report['ok']}")
@@ -249,6 +268,103 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
     for note in report["entries"]:
         print(f"  ! {note}")
     return 0 if not report["quarantined"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .project import ResultCache
+    from .resilience import RetryPolicy
+    from .service import AnalysisServer
+
+    config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
+    if args.no_exhaustive:
+        config.exhaustive_limit = None
+    _apply_mc_flags(config, args)
+    cache = (
+        ResultCache.disabled()
+        if args.no_cache
+        else ResultCache(args.cache_dir)
+    )
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        config=config,
+        cache=cache,
+        workers=args.jobs,
+        fault_plan=_fault_plan(args),
+        retry_policy=RetryPolicy(
+            max_attempts=args.retry_attempts, seed=args.fault_seed
+        ),
+        job_timeout_seconds=args.job_timeout,
+        pool_restart_budget=args.pool_restarts,
+        request_timeout_seconds=args.request_timeout,
+        verbose=args.verbose,
+    )
+    cache_note = "disabled" if args.no_cache else args.cache_dir
+    print(
+        f"repro-wcet service listening on {server.base_url} "
+        f"(cache: {cache_note}, jobs: {args.jobs})"
+    )
+    print("endpoints: POST /v1/analyze  GET /v1/jobs/<id>  "
+          "GET /v1/results/<fp>  GET /v1/healthz  GET /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceClientError
+
+    units = {
+        Path(path).stem: Path(path).read_text(encoding="utf-8")
+        for path in args.files
+    }
+    config: dict[str, object] = {}
+    if args.bound is not None:
+        config["path_bound"] = args.bound
+    if args.partitioner is not None:
+        config["partitioner"] = args.partitioner
+    if args.no_exhaustive:
+        config["no_exhaustive"] = True
+    client = ServiceClient(args.server)
+    try:
+        status = client.analyze(
+            units, config=config or None, session=args.session
+        )
+        if args.watch and status.get("state") not in ("done", "failed"):
+            status = client.wait_for(status["job_id"], timeout=args.timeout)
+    except ServiceClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"job        : {status['job_id']} ({status['state']})")
+    print(f"fingerprint: {status['fingerprint']}")
+    incremental = status.get("incremental")
+    if incremental:
+        frontier = incremental.get("frontier") or []
+        reused = incremental.get("reused") or []
+        print(
+            f"incremental: {len(frontier)} function(s) re-analysed, "
+            f"{len(reused)} reused"
+        )
+    if status.get("state") == "failed":
+        print(f"error      : {status.get('error')}", file=sys.stderr)
+        return 1
+    if args.watch and status.get("state") == "done":
+        code, _, body = client.result(status["fingerprint"])
+        if code == 200:
+            print(body, end="")
+    elif status.get("state") not in ("done", "failed"):
+        print(
+            f"poll   : GET {args.server}/v1/jobs/{status['job_id']}\n"
+            f"result : GET {args.server}/v1/results/{status['fingerprint']}"
+        )
+    else:
+        print(json.dumps(status, indent=2))
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -388,7 +504,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".repro-wcet-cache",
         help="persistent result-cache directory (default: .repro-wcet-cache)",
     )
+    cache_verify.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the verification report (plus cache stats) as JSON",
+    )
     cache_verify.set_defaults(handler=_cmd_cache_verify)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running analysis service (HTTP/JSON daemon)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8537,
+        help="TCP port (default 8537; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro-wcet-cache",
+        help="shared warm result-cache directory (default: .repro-wcet-cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool workers per analysis run (1 = serial, default)",
+    )
+    serve.add_argument("--bound", type=int, default=4, help="default path bound b")
+    serve.add_argument(
+        "--partitioner", choices=("paper", "general"), default="paper",
+        help="default partitioning algorithm",
+    )
+    serve.add_argument(
+        "--no-exhaustive", action="store_true",
+        help="skip the exhaustive end-to-end comparison by default",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="upper bound on blocking waits within one request (default 30)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock timeout per function job (quarantined if exceeded)",
+    )
+    serve.add_argument(
+        "--retry-attempts", type=int, default=3, metavar="N",
+        help="attempts per job before quarantine (default 3)",
+    )
+    serve.add_argument(
+        "--pool-restarts", type=int, default=2, metavar="N",
+        help="pool re-creations before serial fallback (default 2)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    _add_mc_arguments(serve)
+    _add_fault_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit source files to a running analysis service",
+    )
+    submit.add_argument("files", nargs="+", help="mini-C source files")
+    submit.add_argument(
+        "--server", default="http://127.0.0.1:8537", metavar="URL",
+        help="service base URL (default http://127.0.0.1:8537)",
+    )
+    submit.add_argument(
+        "--session", default=None, metavar="NAME",
+        help="incremental session name: repeat submissions re-analyse only "
+        "the functions whose transitive fingerprint changed",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="poll the job to completion and print the report JSON",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up watching after this long (default 600)",
+    )
+    submit.add_argument("--bound", type=int, default=None, help="path bound b")
+    submit.add_argument(
+        "--partitioner", choices=("paper", "general"), default=None,
+        help="partitioning algorithm override",
+    )
+    submit.add_argument(
+        "--no-exhaustive", action="store_true",
+        help="skip the exhaustive end-to-end comparison",
+    )
+    submit.set_defaults(handler=_cmd_submit)
 
     bench = subparsers.add_parser(
         "bench",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from .instrument import (
     PerfRegistry,
     TimerStat,
+    active_registry,
     add,
     global_registry,
     profiled,
@@ -19,12 +20,14 @@ from .instrument import (
     report,
     reset,
     timed,
+    using_registry,
     write_report,
 )
 
 __all__ = [
     "PerfRegistry",
     "TimerStat",
+    "active_registry",
     "add",
     "global_registry",
     "profiled",
@@ -32,5 +35,6 @@ __all__ = [
     "report",
     "reset",
     "timed",
+    "using_registry",
     "write_report",
 ]

@@ -31,7 +31,15 @@ Times the whole-pipeline trajectory on the synthetic applications:
   run with an armed-but-never-firing fault plan (the clean-path overhead of
   the injection hooks, required identical bounds), and a chaos run with a
   10% ``job.execute`` / ``mc.solve`` fault rate that must complete with
-  every bound at least as large as the fault-free bound.
+  every bound at least as large as the fault-free bound;
+* **service** (since ``repro-bench-perf/6``) -- the analysis daemon of
+  :mod:`repro.service` on an in-process ephemeral-port server: sustained
+  request throughput and warm-hit latency (deduplicated re-submission,
+  result fetch, ETag 304 -- all content-addressed lookups that must stay
+  in single-digit milliseconds), and the cold-versus-incremental session
+  comparison (an edited project re-analyses only its invalidation
+  frontier, with the served payloads required identical to a cold run of
+  the edited sources).
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -55,7 +63,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/5"
+BENCH_SCHEMA = "repro-bench-perf/6"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -473,6 +481,157 @@ def _bench_resilience(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
     return timings, details
 
 
+#: warm-hit requests per latency batch (service section)
+SERVICE_WARM_REQUESTS = 40
+
+
+def _bench_service(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the analysis service (service section).
+
+    One in-process :class:`~repro.service.AnalysisServer` on an ephemeral
+    loopback port with a fresh shared cache, driven over the same
+    call-chain workload the scheduling sections use:
+
+    * *cold run* -- first submission of the project (analyses all 9
+      functions);
+    * *incremental run* -- the project with ``diamond_left`` edited, under
+      the same session: the invalidation frontier is exactly
+      ``diamond_left`` plus its one transitive caller ``task_0``, the
+      other 7 functions are warm cache hits, and the served payloads must
+      be identical to a cold run of the edited sources in a separate
+      fresh cache;
+    * *warm hits* -- batches of deduplicated re-submissions, result
+      fetches and ETag 304 conditional gets: pure content-addressed
+      lookups whose per-request latency must stay in single-digit
+      milliseconds.
+    """
+    import tempfile
+
+    from ..pipeline.analyzer import AnalyzerConfig
+    from ..project import Project, ProjectScheduler, ResultCache
+    from ..service import AnalysisServer, ServiceClient
+    from ..testgen.hybrid import HybridOptions
+    from ..workloads.multi import (
+        edit_call_chain_function,
+        generate_call_chain_workload,
+    )
+
+    def config() -> AnalyzerConfig:
+        return AnalyzerConfig(
+            path_bound=2,
+            hybrid=HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1),
+            extra_random_vectors=5,
+            exhaustive_limit=None,
+        )
+
+    workload = generate_call_chain_workload(seed=seed)
+    sources_v1 = dict(workload.sources)
+    # the incremental edit: a semantic change local to ``diamond_left``,
+    # whose only transitive caller is ``task_0``
+    sources_v2 = edit_call_chain_function(sources_v1, "diamond_left")
+
+    def strip_provenance(functions: list[dict]) -> str:
+        return json.dumps(
+            [
+                {
+                    key: value
+                    for key, value in payload.items()
+                    if key not in ("from_cache", "retries", "fault_events")
+                }
+                for payload in functions
+            ],
+            indent=2,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "service-cache"
+        with AnalysisServer(
+            config=config(), cache=ResultCache(cache_dir)
+        ) as server:
+            client = ServiceClient(server.base_url, timeout=120.0)
+
+            started = time.perf_counter()
+            cold = client.analyze(sources_v1, session="bench", wait=120)
+            cold_s = time.perf_counter() - started
+            assert cold["state"] == "done", cold
+
+            started = time.perf_counter()
+            incremental = client.analyze(
+                sources_v2, session="bench", wait=120
+            )
+            incremental_s = time.perf_counter() - started
+            assert incremental["state"] == "done", incremental
+            frontier = incremental["incremental"]["frontier"]
+            reused = incremental["incremental"]["reused"]
+
+            # warm hits: every request below is a content-addressed lookup
+            fingerprint = incremental["fingerprint"]
+            _, etag, served = client.result(fingerprint)
+
+            started = time.perf_counter()
+            for _ in range(SERVICE_WARM_REQUESTS):
+                client.analyze(sources_v2, session="bench")
+            warm_submit_s = (time.perf_counter() - started) / SERVICE_WARM_REQUESTS
+
+            started = time.perf_counter()
+            for _ in range(SERVICE_WARM_REQUESTS):
+                client.result(fingerprint)
+            fetch_s = (time.perf_counter() - started) / SERVICE_WARM_REQUESTS
+
+            started = time.perf_counter()
+            for _ in range(SERVICE_WARM_REQUESTS):
+                client.result(fingerprint, etag=etag)
+            conditional_s = (time.perf_counter() - started) / SERVICE_WARM_REQUESTS
+
+            stats = client.stats()
+
+        # a cold direct run of the *edited* sources in a fresh cache: the
+        # incremental session result must be payload-identical to it
+        reference = ProjectScheduler(
+            Project.from_sources(sources_v2),
+            config=config(),
+            cache=ResultCache(Path(tmp) / "reference-cache"),
+        ).run()
+
+    served_functions = json.loads(served)["functions"]
+    incremental_identical = strip_provenance(served_functions) == strip_provenance(
+        [summary.to_dict() for summary in reference.functions]
+    )
+
+    warm_total = 3 * SERVICE_WARM_REQUESTS
+    warm_seconds = (warm_submit_s + fetch_s + conditional_s) * SERVICE_WARM_REQUESTS
+    # the warm-hit latency target covers *serving* a warm result (fetch and
+    # conditional 304) -- deduplicated re-submission additionally re-parses
+    # and re-fingerprints the whole project and is reported separately
+    warm_latency_ms = max(fetch_s, conditional_s) * 1000.0
+    timings = {
+        "service_cold_run": cold_s,
+        "service_incremental_run": incremental_s,
+        "service_warm_submit": warm_submit_s,
+        "service_result_fetch": fetch_s,
+        "service_result_304": conditional_s,
+    }
+    details = {
+        "functions": cold["progress"]["total"],
+        "warm_requests": warm_total,
+        "requests_per_second": warm_total / max(warm_seconds, 1e-9),
+        "warm_hit_latency_ms": warm_latency_ms,
+        "warm_hit_under_10ms": warm_latency_ms < 10.0,
+        "dedup_submit_ms": warm_submit_s * 1000.0,
+        "incremental_frontier": frontier,
+        "incremental_reused": reused,
+        "incremental_speedup": cold_s / max(incremental_s, 1e-9),
+        "incremental_identical": incremental_identical,
+        "jobs": {
+            "submitted": stats["jobs"]["submitted"],
+            "deduplicated": stats["jobs"]["deduplicated"],
+            "completed": stats["jobs"]["completed"],
+        },
+        "cache_entries": stats["cache"]["entries"],
+    }
+    return timings, details
+
+
 def run_perf_bench(
     seed: int = 2005,
     repeats: int = 3,
@@ -552,6 +711,7 @@ def run_perf_bench(
     )
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
     resilience_timings, resilience_details = _bench_resilience(seed)
+    service_timings, service_details = _bench_service(seed)
 
     liveness_iterations = bitset_block_liveness(cfg).iterations
     reaching_iterations = bitset_reaching_definitions(cfg).iterations
@@ -580,6 +740,7 @@ def run_perf_bench(
             **mcquery_timings,
             **callgraph_timings,
             **resilience_timings,
+            **service_timings,
         },
         "speedup": {
             "liveness": reference_liveness_s / max(optimised_liveness_s, 1e-9),
@@ -595,10 +756,12 @@ def run_perf_bench(
         "mcquery": mcquery_details,
         "callgraph": callgraph_details,
         "resilience": resilience_details,
+        "service": service_details,
         "results_match": results_match
         and resilience_details["clean_identical_under_empty_plan"]
         and resilience_details["clean_identical_under_armed_plan"]
-        and resilience_details["bound_safety"],
+        and resilience_details["bound_safety"]
+        and service_details["incremental_identical"],
         "repeats": repeats,
         "global_ranges_variables": len(ranges_result.global_ranges),
         "perf": perf.report(),
@@ -722,6 +885,27 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{len(resilience['chaos_degraded'])} degraded, "
             f"{len(resilience['chaos_quarantined'])} quarantined, "
             f"bound safety: {resilience['bound_safety']})",
+        ]
+    service = report.get("service")
+    if service:
+        lines += [
+            "analysis service (in-process daemon, "
+            f"{service['functions']} functions):",
+            f"{'cold run':<22} {'-':>12} "
+            f"{timings['service_cold_run']:>11.4f}s",
+            f"{'incremental run':<22} {'-':>12} "
+            f"{timings['service_incremental_run']:>11.4f}s "
+            f"({len(service['incremental_frontier'])} re-analysed, "
+            f"{len(service['incremental_reused'])} reused, "
+            f"{service['incremental_speedup']:.1f}x; "
+            f"identical payloads: {service['incremental_identical']})",
+            f"{'warm submit (dedup)':<22} {'-':>12} "
+            f"{timings['service_warm_submit'] * 1000:>10.2f}ms",
+            f"{'result fetch / 304':<22} "
+            f"{timings['service_result_fetch'] * 1000:>10.2f}ms "
+            f"{timings['service_result_304'] * 1000:>10.2f}ms "
+            f"({service['requests_per_second']:.0f} req/s sustained, "
+            f"warm hits under 10ms: {service['warm_hit_under_10ms']})",
         ]
     if "output_path" in report:
         lines.append(f"report written to {report['output_path']}")

@@ -11,10 +11,22 @@ helpers (:func:`add`, :func:`record_time`, :func:`timed`, :func:`profiled`,
 :func:`report`, :func:`write_report`, :func:`reset`).  Benchmarks reset it,
 run a workload and serialise the report next to their timing numbers (see
 :mod:`repro.perf.bench`).
+
+The *ambient* registry the helpers write to is a
+:class:`contextvars.ContextVar` whose default is the process-wide registry:
+single-process batch runs (the CLI, the benchmarks) see exactly the
+behaviour they always had, while concurrent executions that must not bleed
+counters into each other -- one analysis request per client of the
+long-running :mod:`repro.service` daemon -- activate their own registry
+with :func:`using_registry` for the duration of the work.  ``ContextVar``
+gives every thread (and every :mod:`asyncio` task, should one appear) its
+own activation slot, so two requests instrumented on two worker threads
+never see each other's counters.
 """
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import json
 import threading
@@ -167,34 +179,82 @@ class PerfRegistry:
 #: process-wide default registry used by the instrumented hot paths
 _GLOBAL_REGISTRY = PerfRegistry()
 
+#: the ambient registry the module-level helpers record into; defaults to
+#: the process-wide registry, so nothing changes outside scoped activations
+_ACTIVE_REGISTRY: contextvars.ContextVar[PerfRegistry] = contextvars.ContextVar(
+    "repro_perf_registry", default=_GLOBAL_REGISTRY
+)
+
 
 def global_registry() -> PerfRegistry:
     return _GLOBAL_REGISTRY
 
 
+def active_registry() -> PerfRegistry:
+    """The registry the module-level helpers currently record into."""
+    return _ACTIVE_REGISTRY.get()
+
+
+@contextmanager
+def using_registry(registry: PerfRegistry) -> Iterator[PerfRegistry]:
+    """Make *registry* the ambient recording target for the body.
+
+    Activations are per-context (thread/task): a registry activated on one
+    worker thread is invisible to every other thread, which is what gives
+    the analysis service per-request counter isolation.
+    """
+    token = _ACTIVE_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE_REGISTRY.reset(token)
+
+
 def add(name: str, amount: int = 1) -> None:
-    _GLOBAL_REGISTRY.add(name, amount)
+    _ACTIVE_REGISTRY.get().add(name, amount)
 
 
 def record_time(name: str, seconds: float) -> None:
-    _GLOBAL_REGISTRY.record_time(name, seconds)
+    _ACTIVE_REGISTRY.get().record_time(name, seconds)
 
 
 def timed(name: str):
-    return _GLOBAL_REGISTRY.timed(name)
+    return _ACTIVE_REGISTRY.get().timed(name)
 
 
 def profiled(name: str | None = None) -> Callable[[FuncT], FuncT]:
-    return _GLOBAL_REGISTRY.profiled(name)
+    """Decorator profiling a function against the *ambient* registry.
+
+    The registry is resolved per call, not at decoration time, so module
+    import order never pins a profiled function to the global registry.
+    """
+
+    def decorate(func: FuncT) -> FuncT:
+        label = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            registry = _ACTIVE_REGISTRY.get()
+            if not registry.enabled:
+                return func(*args, **kwargs)
+            started = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                registry.record_time(label, time.perf_counter() - started)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def report() -> dict[str, Any]:
-    return _GLOBAL_REGISTRY.report()
+    return _ACTIVE_REGISTRY.get().report()
 
 
 def write_report(path: str | Path, extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    return _GLOBAL_REGISTRY.write_report(path, extra)
+    return _ACTIVE_REGISTRY.get().write_report(path, extra)
 
 
 def reset() -> None:
-    _GLOBAL_REGISTRY.reset()
+    _ACTIVE_REGISTRY.get().reset()

@@ -79,6 +79,9 @@ class ResultCache:
         self.write_failures = 0
         self.read_failures = 0
         self.quarantined = 0
+        #: entries skipped because they carry another code version's schema
+        #: (a plain miss, counted separately from corruption for operators)
+        self.schema_mismatches = 0
         #: warn-once diagnostics (first write failure, quarantines, ...)
         self.diagnostics: list[str] = []
         self._warned_write_failure = False
@@ -180,6 +183,8 @@ class ResultCache:
             return None
         if payload.get("schema") != CACHE_SCHEMA:
             # a different (older/newer) code version's entry: miss, not corrupt
+            self.schema_mismatches += 1
+            perf.add("project.cache.schema_mismatches")
             return None
         summary = payload.get("summary")
         if not isinstance(summary, dict):
@@ -243,6 +248,53 @@ class ResultCache:
                 )
             return
         perf.add("project.cache.stores")
+
+    # ------------------------------------------------------------------ #
+    def etag(self, key: str) -> str | None:
+        """The HTTP entity tag of the entry stored under *key*, if any.
+
+        The store is content-addressed -- the key already commits to the
+        schema version, the function's transitive fingerprint and the
+        analyzer config -- so the key *is* the strong validator: an entry
+        can never change behind an unchanged key, only appear or vanish.
+        Returns ``None`` when no entry exists (or caching is disabled).
+        """
+        if not self.enabled:
+            return None
+        return key if self.path_for(key).is_file() else None
+
+    def stats(self) -> dict[str, object]:
+        """Operational snapshot: store size on disk plus per-instance counts.
+
+        ``entries``/``bytes`` walk the shard directories (cheap for the
+        store sizes one daemon accumulates); the remaining fields are the
+        counters this instance accumulated since it was opened, with
+        schema-mismatched reads reported distinctly from corrupt ones.
+        """
+        entries = 0
+        total_bytes = 0
+        if self.enabled and self._root is not None and self._root.is_dir():
+            for shard in self._root.iterdir():
+                if not shard.is_dir() or shard.name == CORRUPT_DIR:
+                    continue
+                for path in shard.glob("*.json"):
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue
+                    entries += 1
+        return {
+            "enabled": self.enabled,
+            "directory": str(self._root) if self._root else None,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "write_failures": self.write_failures,
+            "read_failures": self.read_failures,
+            "schema_mismatches": self.schema_mismatches,
+            "quarantined": self.quarantined,
+        }
 
     # ------------------------------------------------------------------ #
     def _quarantine(self, path: Path, key: str, reason: str) -> None:

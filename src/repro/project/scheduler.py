@@ -193,6 +193,7 @@ class ProjectScheduler:
         retry_policy: RetryPolicy | None = None,
         job_timeout_seconds: float | None = None,
         pool_restart_budget: int = 2,
+        progress_callback=None,
     ):
         """``fault_plan``/``retry_policy``/``job_timeout_seconds`` are the
         resilience knobs: the plan injects deterministic faults (chaos
@@ -205,6 +206,12 @@ class ProjectScheduler:
         The fault plan is deliberately *not* part of :class:`AnalyzerConfig`:
         the config is fingerprinted into every cache key, and injecting
         faults must not re-key (or pollute) the cache of clean runs.
+
+        ``progress_callback`` is invoked with each :class:`AnalysisJob` as
+        it reaches a terminal state (cached, done, failed, quarantined) --
+        the hook the analysis service uses to stream job progress to
+        polling clients.  Callback errors are swallowed: observers must
+        never be able to fail an analysis.
         """
         from ..callgraph.summaries import (
             DEFAULT_UNKNOWN_CALL_CYCLES,
@@ -230,6 +237,7 @@ class ProjectScheduler:
         )
         self._job_timeout = job_timeout_seconds
         self._pool_restart_budget = max(0, int(pool_restart_budget))
+        self._progress_callback = progress_callback
         #: scheduler-side injector (cache.*, pool.submit); job-internal
         #: sites ship to each job as a sub-plan, and job.execute is decided
         #: per attempt by :meth:`_job_execute_spec`
@@ -266,6 +274,16 @@ class ProjectScheduler:
     @property
     def workers(self) -> int:
         return self._workers
+
+    def _notify(self, job: AnalysisJob) -> None:
+        """Report a job's terminal state to the progress observer, if any."""
+        if self._progress_callback is None:
+            return
+        try:
+            self._progress_callback(job)
+        except Exception:
+            # observers are diagnostics-only; they must not fail the run
+            pass
 
     def jobs(self) -> list[AnalysisJob]:
         """The job graph (built once, ordered by (unit, function))."""
@@ -462,6 +480,7 @@ class ProjectScheduler:
             + ", ".join(sorted(broken))
         )
         perf.add("project.jobs_failed")
+        self._notify(job)
         return True
 
     def _callee_bounds_for(self, job: AnalysisJob) -> dict[str, int]:
@@ -577,6 +596,7 @@ class ProjectScheduler:
                 job.summary = summary
                 job.state = JobState.CACHED
                 perf.add("project.jobs_cached")
+                self._notify(job)
             else:
                 runnable.append(job)
         return runnable
@@ -913,6 +933,7 @@ class ProjectScheduler:
         job.state = JobState.QUARANTINED
         job.error = reason
         perf.add("project.jobs_quarantined")
+        self._notify(job)
 
     def _complete(
         self, job: AnalysisJob, summary: FunctionSummary, seconds: float
@@ -926,12 +947,13 @@ class ProjectScheduler:
             self._cache.put(job.cache_key, summary)
         perf.add("project.jobs_executed")
         perf.record_time("project.analyze_function", seconds)
+        self._notify(job)
 
-    @staticmethod
-    def _fail(job: AnalysisJob, error: Exception) -> None:
+    def _fail(self, job: AnalysisJob, error: Exception) -> None:
         job.state = JobState.FAILED
         job.error = f"{type(error).__name__}: {error}"
         perf.add("project.jobs_failed")
+        self._notify(job)
 
 
 def analyze_project(
@@ -946,6 +968,7 @@ def analyze_project(
     retry_policy: RetryPolicy | None = None,
     job_timeout_seconds: float | None = None,
     pool_restart_budget: int = 2,
+    progress_callback=None,
 ) -> ProjectReport:
     """Convenience wrapper: schedule and run every function of *project*."""
     return ProjectScheduler(
@@ -960,4 +983,5 @@ def analyze_project(
         retry_policy=retry_policy,
         job_timeout_seconds=job_timeout_seconds,
         pool_restart_budget=pool_restart_budget,
+        progress_callback=progress_callback,
     ).run()

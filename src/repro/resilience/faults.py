@@ -7,8 +7,8 @@ scheduling.  Three design rules make that true:
 
 * **Site-addressed injection points.**  Faults fire at named sites --
   :data:`SITES` lists the supported ones (``cache.read``, ``cache.write``,
-  ``pool.submit``, ``job.execute``, ``mc.solve``, ``interp.step``) -- and a
-  spec only ever fires at its own site.
+  ``pool.submit``, ``job.execute``, ``mc.solve``, ``interp.step``,
+  ``service.request``) -- and a spec only ever fires at its own site.
 * **Deterministic hit selection.**  ``@N`` specs count *hits of the owning
   injector*; the scheduler counts scheduler-side sites (cache, pool, job
   dispatch) in job order, and ships a per-job sub-plan into each job so
@@ -43,7 +43,9 @@ from dataclasses import dataclass, field
 
 from .. import perf
 
-#: the injection points the pipeline exposes
+#: the injection points the pipeline exposes; ``service.request`` fires in
+#: the analysis daemon's request dispatch (:mod:`repro.service`) and must
+#: surface as a well-formed retryable HTTP error, never a hung connection
 SITES = frozenset(
     {
         "cache.read",
@@ -52,6 +54,7 @@ SITES = frozenset(
         "job.execute",
         "mc.solve",
         "interp.step",
+        "service.request",
     }
 )
 

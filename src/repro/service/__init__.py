@@ -1,0 +1,45 @@
+"""repro.service -- WCET analysis as a long-running service.
+
+A stdlib-only (``http.server`` + ``threading``) daemon that keeps one
+:class:`~repro.project.cache.ResultCache` warm across many submissions:
+
+- :class:`AnalysisServer` -- the HTTP/JSON front-end (``serve`` CLI),
+- :class:`JobQueue` -- fingerprint-deduplicated job management driving
+  :class:`~repro.project.scheduler.ProjectScheduler` on a worker thread,
+- :class:`ServiceClient` -- the urllib-based client (``submit`` CLI).
+
+Repeat submissions of an edited project under a named *session* re-analyse
+only the invalidation frontier computed from transitive fingerprints; every
+served report is bit-identical to a cold full run of the same sources.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .jobs import (
+    JobQueue,
+    ServiceJob,
+    ServiceJobState,
+    project_fingerprint,
+    report_json,
+)
+from .server import (
+    API_PREFIX,
+    CLIENT_CONFIG_FIELDS,
+    RETRY_AFTER_SECONDS,
+    AnalysisServer,
+    ServiceError,
+)
+
+__all__ = [
+    "API_PREFIX",
+    "AnalysisServer",
+    "CLIENT_CONFIG_FIELDS",
+    "JobQueue",
+    "RETRY_AFTER_SECONDS",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceJob",
+    "ServiceJobState",
+    "project_fingerprint",
+    "report_json",
+]

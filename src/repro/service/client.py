@@ -1,0 +1,172 @@
+"""A tiny stdlib client for the analysis service (used by ``submit``).
+
+Wraps :mod:`urllib.request` with the service's failure semantics: JSON
+bodies in and out, ``ETag``/``If-None-Match`` conditional result fetches,
+and automatic retry (with ``Retry-After``-guided backoff) of 503 responses
+-- the server's transient/injected-fault channel.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+
+class ServiceClientError(Exception):
+    """A request the service rejected (or that never reached it)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One analysis server endpoint plus retry policy."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        #: how many 503s the client absorbed across its lifetime
+        self.retried = 0
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange; 503 responses are retried with backoff."""
+        data = None
+        merged = dict(headers or {})
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            merged["Content-Type"] = "application/json"
+        last_error: str = "unreachable"
+        for attempt in range(self.max_retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=merged, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return (
+                        response.status,
+                        dict(response.headers.items()),
+                        response.read(),
+                    )
+            except urllib.error.HTTPError as error:
+                payload = error.read()
+                if error.code == 503 and attempt < self.max_retries:
+                    self.retried += 1
+                    retry_after = error.headers.get("Retry-After")
+                    try:
+                        delay = min(float(retry_after or 0.1), 2.0)
+                    except ValueError:
+                        delay = 0.1
+                    time.sleep(delay)
+                    last_error = f"503 after {attempt + 1} attempt(s)"
+                    continue
+                if error.code == 304:
+                    return 304, dict(error.headers.items()), b""
+                message = _error_message(payload) or error.reason
+                raise ServiceClientError(
+                    f"{method} {path}: {message}", status=error.code
+                ) from None
+            except urllib.error.URLError as error:
+                raise ServiceClientError(
+                    f"{method} {path}: {error.reason}"
+                ) from None
+        raise ServiceClientError(
+            f"{method} {path}: gave up after {self.max_retries + 1} "
+            f"attempts ({last_error})",
+            status=503,
+        )
+
+    def _json(self, *args, **kwargs) -> dict[str, Any]:
+        _, _, payload = self._request(*args, **kwargs)
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def analyze(
+        self,
+        units: dict[str, str],
+        *,
+        config: dict[str, Any] | None = None,
+        session: str | None = None,
+        wait: float | None = None,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"units": units}
+        if config:
+            body["config"] = config
+        if session is not None:
+            body["session"] = session
+        if wait is not None:
+            body["wait"] = wait
+        return self._json("POST", "/v1/analyze", body=body)
+
+    def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._json("GET", path)
+
+    def wait_for(
+        self, job_id: str, timeout: float = 120.0, poll: float = 2.0
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state (or *timeout*)."""
+        expires = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id, wait=poll)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if time.monotonic() >= expires:
+                raise ServiceClientError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout:.0f}s"
+                )
+
+    def result(
+        self, fingerprint: str, etag: str | None = None
+    ) -> tuple[int, str | None, str]:
+        """Fetch a result; returns ``(status, etag, body_text)``.
+
+        Pass the previously seen *etag* back in to get a body-less 304 when
+        the content-addressed result is unchanged.
+        """
+        headers = {"If-None-Match": etag} if etag else None
+        status, response_headers, payload = self._request(
+            "GET", f"/v1/results/{fingerprint}", headers=headers
+        )
+        return status, response_headers.get("ETag"), payload.decode("utf-8")
+
+
+def _error_message(payload: bytes) -> str | None:
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if isinstance(body, dict) and isinstance(body.get("error"), str):
+        return body["error"]
+    return None
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

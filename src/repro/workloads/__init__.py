@@ -10,7 +10,12 @@ from .figure1 import (
     figure1_analyzed,
     figure1_program,
 )
-from .multi import MultiFunctionWorkload, generate_multi_function_workload
+from .multi import (
+    MultiFunctionWorkload,
+    edit_call_chain_function,
+    generate_call_chain_workload,
+    generate_multi_function_workload,
+)
 
 __all__ = [
     "EXPECTED_BASIC_BLOCKS",
@@ -18,7 +23,9 @@ __all__ = [
     "FIGURE1_SOURCE",
     "MultiFunctionWorkload",
     "TABLE1_EXPECTED",
+    "edit_call_chain_function",
     "figure1_analyzed",
     "figure1_program",
+    "generate_call_chain_workload",
     "generate_multi_function_workload",
 ]

@@ -296,6 +296,29 @@ def generate_call_chain_workload(
     )
 
 
+def edit_call_chain_function(
+    sources: dict[str, str], function: str = "diamond_left"
+) -> dict[str, str]:
+    """Apply a semantic edit local to one call-chain workload function.
+
+    Incremental-invalidation scenarios (service sessions, cache-frontier
+    tests, the bench's cold-vs-incremental comparison) need "the same
+    project with exactly one function changed".  Every rendered function
+    ends with its unique output assignment ``out_<name> = acc;`` (the
+    declaration is ``= 0;``, so the assignment cannot collide), which makes
+    a minimal semantic edit textual: bump the assigned value.  The edit
+    changes only *function*'s content fingerprint, so the expected
+    invalidation frontier is that function plus its transitive callers.
+    """
+    marker = f"out_{function} = acc;"
+    edited = dict(sources)
+    for unit, source in sources.items():
+        if marker in source:
+            edited[unit] = source.replace(marker, f"out_{function} = acc + 1;")
+            return edited
+    raise ValueError(f"no function {function!r} in the given workload sources")
+
+
 def generate_multi_function_workload(
     seed: int = 2005, functions: int = 4, units: int = 2
 ) -> MultiFunctionWorkload:
