@@ -27,6 +27,15 @@ tooling:
     ``--call-graph`` prints the resolved call graph with waves and
     diagnostics, ``--no-interprocedural`` restores the flat PR 2 behaviour.
 
+``repro-wcet project ... --trace out.json``
+    additionally record every request/wave/job/analysis-stage span of the
+    run and export them as Chrome trace-event JSON (Perfetto-loadable;
+    a ``.jsonl`` path exports JSONL instead).
+
+``repro-wcet trace FILE``
+    summarise a recorded trace (span counts and per-name durations) or
+    convert between the two export formats (``--chrome`` / ``--jsonl``).
+
 ``repro-wcet serve --cache-dir DIR --jobs N``
     run the long-running analysis service: an HTTP/JSON daemon that keeps
     one result cache warm across submissions, deduplicates identical
@@ -238,7 +247,25 @@ def _cmd_project(args: argparse.Namespace) -> int:
                     "(no call graph is built in flat mode)",
                     file=sys.stderr,
                 )
-    report = scheduler.run()
+    if args.trace_output:
+        from . import obs
+
+        # an unbounded tracer: the export must hold the complete span tree
+        tracer = obs.Tracer()
+        with obs.using_tracer(tracer):
+            report = scheduler.run()
+        if args.trace_output.endswith(".jsonl"):
+            count = tracer.write_jsonl(args.trace_output)
+        else:
+            count = tracer.write_chrome(args.trace_output)
+        print(
+            f"trace written to {args.trace_output} "
+            f"({count} span(s), trace {report.trace_id}; "
+            "load in Perfetto / chrome://tracing or summarise with "
+            "'repro-wcet trace')"
+        )
+    else:
+        report = scheduler.run()
     if args.call_graph and scheduler.callgraph is not None:
         print(scheduler.callgraph.to_text())
     print(report.to_text())
@@ -246,6 +273,38 @@ def _cmd_project(args: argparse.Namespace) -> int:
         report.write_json(args.json_output)
         print(f"JSON report written to {args.json_output}")
     return 1 if report.failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+
+    events = obs.read_trace_file(args.file)
+    if args.chrome_output:
+        obs.write_chrome(args.chrome_output, events)
+        print(f"Chrome trace written to {args.chrome_output}")
+    if args.jsonl_output:
+        obs.write_jsonl(args.jsonl_output, events)
+        print(f"JSONL trace written to {args.jsonl_output}")
+    summary = obs.summarize(events)
+    if args.json_output:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        f"{summary['spans']} span(s) in {len(summary['traces'])} trace(s); "
+        f"{summary['roots']} root(s), {summary['orphans']} orphan(s)"
+    )
+    for trace_id, count in summary["traces"].items():
+        print(f"  trace {trace_id}: {count} span(s)")
+    print(f"  {'span name':<24} {'spans':>6} {'total ms':>10} {'max ms':>10}")
+    for name, stat in summary["by_name"].items():
+        print(
+            f"  {name:<24} {stat['spans']:>6} "
+            f"{stat['total_us'] / 1000.0:>10.2f} "
+            f"{stat['max_us'] / 1000.0:>10.2f}"
+        )
+    return 0
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
@@ -305,7 +364,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(cache: {cache_note}, jobs: {args.jobs})"
     )
     print("endpoints: POST /v1/analyze  GET /v1/jobs/<id>  "
-          "GET /v1/results/<fp>  GET /v1/healthz  GET /v1/stats")
+          "GET /v1/results/<fp>  GET /v1/healthz  GET /v1/stats  "
+          "GET /v1/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -478,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the project report as JSON to PATH",
     )
     project.add_argument(
+        "--trace", dest="trace_output", metavar="PATH",
+        help="record every analysis stage as trace spans and export them to "
+        "PATH: Chrome trace-event JSON (Perfetto-loadable), or JSONL when "
+        "PATH ends in .jsonl",
+    )
+    project.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock timeout per function job; overrunning jobs are "
         "quarantined behind a static pessimised (still sound) bound",
@@ -596,6 +662,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the exhaustive end-to-end comparison",
     )
     submit.set_defaults(handler=_cmd_submit)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarise or convert a trace file written by project --trace",
+    )
+    trace.add_argument(
+        "file", help="trace file (Chrome trace-event JSON or JSONL)"
+    )
+    trace.add_argument(
+        "--chrome", dest="chrome_output", metavar="PATH",
+        help="re-export as Chrome trace-event JSON to PATH",
+    )
+    trace.add_argument(
+        "--jsonl", dest="jsonl_output", metavar="PATH",
+        help="re-export as JSONL to PATH",
+    )
+    trace.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the summary as JSON instead of text",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     bench = subparsers.add_parser(
         "bench",

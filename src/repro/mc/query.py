@@ -35,7 +35,7 @@ import enum
 import time
 from dataclasses import dataclass, replace
 
-from .. import perf
+from .. import obs, perf
 from ..resilience import InjectedFault, maybe_fault, poll_deadline
 from ..transsys.translate import TranslationResult
 from .explicit import ExplicitEngineOptions, ExplicitStateEngine, StateSpaceTooLarge
@@ -128,7 +128,7 @@ class QueryPlan:
         goals: list[tuple[object, ReachabilityGoal]],
         probe_threshold: int = PREFIX_PROBE_THRESHOLD,
     ) -> "QueryPlan":
-        with perf.timed("mc.plan"):
+        with obs.span("mc.plan", goals=len(goals)), perf.timed("mc.plan"):
             ordered_goals = sorted(
                 goals,
                 key=lambda item: (item[1].ordered_labels, item[1].description),
@@ -425,7 +425,7 @@ class QueryEngine:
                 label, model, budget, deadline, spent_steps, spent_solver_calls
             )
             try:
-                with perf.timed("mc.solve"):
+                with obs.span("mc.solve", engine=label), perf.timed("mc.solve"):
                     maybe_fault("mc.solve", goal.description)
                     result = engine.check(goal)
             except StateSpaceTooLarge:

@@ -1,0 +1,115 @@
+"""Crash flight recorder: dump the recent trace timeline on trouble.
+
+A :class:`FlightRecorder` owns a ``diagnostics/`` directory (conventionally
+next to the result cache's ``corrupt/`` quarantine) and writes one JSON
+dump per *trigger* -- a quarantined job, a fired fault plan, a server 5xx.
+Each dump freezes whatever the active tracer's (ring) buffer holds at that
+moment plus the triggering context, so an operator can go from "job X was
+quarantined" or "request Y answered 503" straight to the span timeline that
+led up to it: the returned ``{"trigger", "trace_id", "path"}`` record is
+what the project report's resilience section and the 503 body echo.
+
+Dumps are bounded (``max_dumps``, oldest kept -- the *first* failures of a
+run are usually the informative ones) and best-effort: an unwritable
+diagnostics directory must never turn an already-degraded run into a
+failed one, so I/O errors are swallowed and counted.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from .trace import TRACE_SCHEMA, Tracer
+
+#: schema tag of every flight-recorder dump file
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: default cap on dump files one recorder writes (oldest kept)
+DEFAULT_MAX_DUMPS = 16
+
+#: name of the dump directory, conventionally ``<cache root>/diagnostics``
+DIAGNOSTICS_DIR = "diagnostics"
+
+_SLUG = re.compile(r"[^a-zA-Z0-9_.-]+")
+
+
+class FlightRecorder:
+    """Writes bounded, best-effort trace dumps into one directory."""
+
+    def __init__(
+        self, directory: str | Path, max_dumps: int = DEFAULT_MAX_DUMPS
+    ):
+        self._directory = Path(directory)
+        self._max_dumps = max(1, int(max_dumps))
+        self._sequence = 0
+        #: dumps suppressed by the cap or lost to I/O errors
+        self.dropped = 0
+        #: records of the dumps actually written
+        self.dumps: list[dict[str, Any]] = []
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    # ------------------------------------------------------------------ #
+    def dump(
+        self,
+        trigger: str,
+        *,
+        tracer: Tracer | None = None,
+        trace_id: str | None = None,
+        detail: str | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> dict[str, Any] | None:
+        """Write one dump; returns its ``{trigger, trace_id, path}`` record.
+
+        Returns ``None`` when the dump was suppressed (cap reached) or
+        could not be written.  ``trace_id`` defaults to the tracer's most
+        recent root trace so a dump is attributable even when the
+        triggering code did not thread a context through.
+        """
+        if len(self.dumps) >= self._max_dumps:
+            self.dropped += 1
+            return None
+        events = tracer.events() if tracer is not None else []
+        if trace_id is None and tracer is not None:
+            trace_id = tracer.last_trace_id
+        self._sequence += 1
+        slug = _SLUG.sub("-", trigger).strip("-") or "trigger"
+        path = self._directory / f"flight-{self._sequence:04d}-{slug[:48]}.json"
+        payload: dict[str, Any] = {
+            "schema": FLIGHT_SCHEMA,
+            "trigger": trigger,
+            "trace_id": trace_id,
+            "detail": detail,
+            "events_schema": TRACE_SCHEMA,
+            "events": events,
+        }
+        if extra:
+            payload["extra"] = extra
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            self.dropped += 1
+            return None
+        record = {
+            "trigger": trigger,
+            "trace_id": trace_id,
+            "path": str(path),
+        }
+        self.dumps.append(record)
+        return record
+
+
+__all__ = [
+    "DEFAULT_MAX_DUMPS",
+    "DIAGNOSTICS_DIR",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+]

@@ -10,6 +10,7 @@ dataflow hot paths on the synthetic industrial application and writes the
 from __future__ import annotations
 
 from .instrument import (
+    HISTOGRAM_BOUNDS,
     PerfRegistry,
     TimerStat,
     active_registry,
@@ -25,6 +26,7 @@ from .instrument import (
 )
 
 __all__ = [
+    "HISTOGRAM_BOUNDS",
     "PerfRegistry",
     "TimerStat",
     "active_registry",

@@ -39,7 +39,14 @@ Times the whole-pipeline trajectory on the synthetic applications:
   in single-digit milliseconds), and the cold-versus-incremental session
   comparison (an edited project re-analyses only its invalidation
   frontier, with the served payloads required identical to a cold run of
-  the edited sources).
+  the edited sources);
+* **observability** (since ``repro-bench-perf/7``) -- the tracing and
+  metrics layer of :mod:`repro.obs`: a plain scheduler run versus the same
+  run under a *disabled* ambient tracer (the tracing-off overhead of the
+  span call sites, required under 2% with bit-identical payloads) and
+  under a full recording tracer (payloads still identical, spans forming
+  one connected tree under a single trace id), plus the ``GET
+  /v1/metrics`` Prometheus scrape latency on an in-process server.
 
 The report is written as ``BENCH_perf.json`` so that future PRs have a perf
 trajectory to compare against.  Entry points:
@@ -63,7 +70,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/6"
+BENCH_SCHEMA = "repro-bench-perf/7"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -632,6 +639,124 @@ def _bench_service(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
     return timings, details
 
 
+#: ``/v1/metrics`` scrapes per latency batch (obs section)
+OBS_METRICS_SCRAPES = 20
+
+
+def _bench_obs(seed: int) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the observability layer (obs section).
+
+    Three scheduler runs on the call-chain workload plus a metrics-scrape
+    batch against an in-process server:
+
+    * *untraced* -- no ambient tracer at all: the production default, and
+      the baseline the tracing-off overhead is measured against;
+    * *disabled tracer* -- an ambient ``Tracer(enabled=False)`` installed
+      for the whole run, so every ``obs.span(...)`` call site pays the
+      lookup-and-bail path; this is the "tracing disabled" cost that must
+      stay under 2% with payloads bit-identical to the untraced run;
+    * *full tracer* -- an unbounded recording tracer: payloads must still
+      be bit-identical, and the exported spans must form one connected
+      tree (a single trace id, no orphaned parents, exactly one
+      ``project.run`` root);
+    * *metrics scrape* -- ``GET /v1/metrics`` latency on an in-process
+      :class:`~repro.service.AnalysisServer`: the Prometheus rendering is
+      a pure registry snapshot and must stay in single-digit milliseconds.
+    """
+    import tempfile
+
+    from .. import obs
+    from ..pipeline.analyzer import AnalyzerConfig
+    from ..project import Project, ProjectScheduler, ResultCache
+    from ..service import AnalysisServer, ServiceClient
+    from ..testgen.hybrid import HybridOptions
+    from ..workloads.multi import generate_call_chain_workload
+
+    workload = generate_call_chain_workload(seed=seed)
+    project = Project.from_sources(workload.sources)
+
+    def config() -> AnalyzerConfig:
+        return AnalyzerConfig(
+            path_bound=2,
+            hybrid=HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1),
+            extra_random_vectors=5,
+            exhaustive_limit=None,
+        )
+
+    def run():
+        return ProjectScheduler(project, config=config()).run()
+
+    last_tracer: list[Any] = []
+
+    def run_traced(enabled: bool):
+        tracer = obs.Tracer(enabled=enabled)
+        with obs.using_tracer(tracer):
+            report = ProjectScheduler(project, config=config()).run()
+        last_tracer.append(tracer)
+        return report
+
+    untraced_s, untraced = _best_of(3, run)
+    disabled_s, disabled = _best_of(3, lambda: run_traced(enabled=False))
+    traced_s, traced = _best_of(2, lambda: run_traced(enabled=True))
+
+    def payloads(report) -> list[dict]:
+        return [summary.result_payload() for summary in report.functions]
+
+    span_summary = obs.summarize(last_tracer[-1].events())
+    root_spans = span_summary["by_name"].get("project.run", {}).get("spans", 0)
+    trace_connected = (
+        len(span_summary["traces"]) == 1
+        and span_summary["orphans"] == 0
+        and root_spans == 1
+    )
+    off_overhead_percent = (disabled_s - untraced_s) / max(untraced_s, 1e-9) * 100.0
+    traced_overhead_percent = (traced_s - untraced_s) / max(untraced_s, 1e-9) * 100.0
+
+    # /v1/metrics scrape latency: a registry snapshot rendered as Prometheus
+    # text, measured against a live (but idle) server so the exposition has
+    # real request histograms in it
+    with tempfile.TemporaryDirectory() as tmp:
+        with AnalysisServer(
+            config=config(), cache=ResultCache(Path(tmp) / "obs-cache")
+        ) as server:
+            client = ServiceClient(server.base_url, timeout=30.0)
+            client.healthz()
+            metrics_text = client.metrics()  # warm the route once
+            started = time.perf_counter()
+            for _ in range(OBS_METRICS_SCRAPES):
+                metrics_text = client.metrics()
+            scrape_s = (time.perf_counter() - started) / OBS_METRICS_SCRAPES
+
+    timings = {
+        "obs_untraced": untraced_s,
+        "obs_tracing_disabled": disabled_s,
+        "obs_tracing_enabled": traced_s,
+        "obs_metrics_scrape": scrape_s,
+    }
+    details = {
+        "functions": len(untraced.functions),
+        "tracing_off_overhead_percent": off_overhead_percent,
+        "tracing_off_within_2_percent": off_overhead_percent < 2.0,
+        "tracing_on_overhead_percent": traced_overhead_percent,
+        "untraced_identical_under_disabled_tracer": (
+            payloads(untraced) == payloads(disabled)
+        ),
+        "untraced_identical_under_full_tracer": (
+            payloads(untraced) == payloads(traced)
+        ),
+        "trace_spans": span_summary["spans"],
+        "trace_count": len(span_summary["traces"]),
+        "trace_orphans": span_summary["orphans"],
+        "trace_connected": trace_connected,
+        "metrics_scrapes": OBS_METRICS_SCRAPES,
+        "metrics_scrape_ms": scrape_s * 1000.0,
+        "metrics_scrape_under_10ms": scrape_s * 1000.0 < 10.0,
+        "metrics_bytes": len(metrics_text.encode("utf-8")),
+        "metrics_has_histograms": "service_request_seconds_bucket" in metrics_text,
+    }
+    return timings, details
+
+
 def run_perf_bench(
     seed: int = 2005,
     repeats: int = 3,
@@ -712,6 +837,7 @@ def run_perf_bench(
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
     resilience_timings, resilience_details = _bench_resilience(seed)
     service_timings, service_details = _bench_service(seed)
+    obs_timings, obs_details = _bench_obs(seed)
 
     liveness_iterations = bitset_block_liveness(cfg).iterations
     reaching_iterations = bitset_reaching_definitions(cfg).iterations
@@ -741,6 +867,7 @@ def run_perf_bench(
             **callgraph_timings,
             **resilience_timings,
             **service_timings,
+            **obs_timings,
         },
         "speedup": {
             "liveness": reference_liveness_s / max(optimised_liveness_s, 1e-9),
@@ -757,11 +884,15 @@ def run_perf_bench(
         "callgraph": callgraph_details,
         "resilience": resilience_details,
         "service": service_details,
+        "obs": obs_details,
         "results_match": results_match
         and resilience_details["clean_identical_under_empty_plan"]
         and resilience_details["clean_identical_under_armed_plan"]
         and resilience_details["bound_safety"]
-        and service_details["incremental_identical"],
+        and service_details["incremental_identical"]
+        and obs_details["untraced_identical_under_disabled_tracer"]
+        and obs_details["untraced_identical_under_full_tracer"]
+        and obs_details["trace_connected"],
         "repeats": repeats,
         "global_ranges_variables": len(ranges_result.global_ranges),
         "perf": perf.report(),
@@ -906,6 +1037,31 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{timings['service_result_304'] * 1000:>10.2f}ms "
             f"({service['requests_per_second']:.0f} req/s sustained, "
             f"warm hits under 10ms: {service['warm_hit_under_10ms']})",
+        ]
+    obs_section = report.get("obs")
+    if obs_section:
+        lines += [
+            "observability (tracing + metrics):",
+            f"{'untraced run':<22} {'-':>12} "
+            f"{timings['obs_untraced']:>11.4f}s "
+            f"({obs_section['functions']} functions)",
+            f"{'tracing disabled':<22} {'-':>12} "
+            f"{timings['obs_tracing_disabled']:>11.4f}s "
+            f"(overhead {obs_section['tracing_off_overhead_percent']:+.1f}%, "
+            f"identical results: "
+            f"{obs_section['untraced_identical_under_disabled_tracer']})",
+            f"{'tracing enabled':<22} {'-':>12} "
+            f"{timings['obs_tracing_enabled']:>11.4f}s "
+            f"({obs_section['trace_spans']} spans, "
+            f"{obs_section['trace_count']} trace(s), "
+            f"connected: {obs_section['trace_connected']}, "
+            f"identical results: "
+            f"{obs_section['untraced_identical_under_full_tracer']})",
+            f"{'/v1/metrics scrape':<22} {'-':>12} "
+            f"{timings['obs_metrics_scrape'] * 1000:>10.2f}ms "
+            f"({obs_section['metrics_bytes']} bytes, histograms: "
+            f"{obs_section['metrics_has_histograms']}, under 10ms: "
+            f"{obs_section['metrics_scrape_under_10ms']})",
         ]
     if "output_path" in report:
         lines.append(f"report written to {report['output_path']}")

@@ -26,6 +26,7 @@ never see each other's counters.
 
 from __future__ import annotations
 
+import bisect
 import contextvars
 import functools
 import json
@@ -37,32 +38,62 @@ from typing import Any, Callable, Iterator, TypeVar
 
 FuncT = TypeVar("FuncT", bound=Callable[..., Any])
 
-#: schema tag written into every JSON report
-REPORT_SCHEMA = "repro-perf/1"
+#: schema tag written into every JSON report; /2 added min/max and the
+#: bounded histogram buckets to every timer (old readers that only consume
+#: calls/total/mean keep working -- the fields are additive)
+REPORT_SCHEMA = "repro-perf/2"
+
+#: upper bounds (seconds) of the fixed latency-histogram buckets; one
+#: implicit +Inf bucket follows the last bound.  Log-scaled from sub-ms
+#: cache lookups to multi-second scheduler runs -- fixed bounds keep every
+#: timer's histogram mergeable and the Prometheus exposition label-stable.
+HISTOGRAM_BOUNDS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 
 class TimerStat:
     """Accumulated wall-clock time of one named operation."""
 
-    __slots__ = ("calls", "total_seconds")
+    __slots__ = ("calls", "total_seconds", "min_seconds", "max_seconds", "buckets")
 
     def __init__(self) -> None:
         self.calls = 0
         self.total_seconds = 0.0
+        self.min_seconds = 0.0
+        self.max_seconds = 0.0
+        #: per-bucket call counts; ``buckets[i]`` counts calls with
+        #: ``seconds <= HISTOGRAM_BOUNDS[i]`` (last slot = +Inf overflow)
+        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
 
     def record(self, seconds: float) -> None:
+        if self.calls == 0:
+            self.min_seconds = seconds
+            self.max_seconds = seconds
+        else:
+            if seconds < self.min_seconds:
+                self.min_seconds = seconds
+            if seconds > self.max_seconds:
+                self.max_seconds = seconds
         self.calls += 1
         self.total_seconds += seconds
+        self.buckets[bisect.bisect_left(HISTOGRAM_BOUNDS, seconds)] += 1
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.calls if self.calls else 0.0
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "calls": self.calls,
             "total_seconds": self.total_seconds,
             "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            "histogram": {
+                "bounds": list(HISTOGRAM_BOUNDS),
+                "counts": list(self.buckets),
+            },
         }
 
 

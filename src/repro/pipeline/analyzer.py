@@ -24,6 +24,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from .. import obs
 from ..cfg.builder import build_cfg
 from ..hw.board import EvaluationBoard
 from ..hw.cost_model import CostModel, HCS12_COST_MODEL
@@ -220,7 +221,8 @@ class WcetAnalyzer:
         cfg = build_cfg(function)
 
         # 1. partition the CFG into program segments
-        partition = _partition_function(function, cfg, config)
+        with obs.span("analyze.partition", function=self._function):
+            partition = _partition_function(function, cfg, config)
 
         # 2. instrumentation plan + simulated board; with callee summaries the
         #    measurement board stubs every summarised callee and charges its
@@ -239,7 +241,8 @@ class WcetAnalyzer:
             self._analyzed, self._function, board, partition, cfg, config.hybrid
         )
         poll_deadline()
-        suite = generator.generate()
+        with obs.span("analyze.testgen", function=self._function):
+            suite = generator.generate()
         poll_deadline()
 
         # 4. measurement campaign
@@ -255,7 +258,10 @@ class WcetAnalyzer:
             raise AnalysisError(
                 "test-data generation produced no vectors; cannot measure anything"
             )
-        campaign = runner.run_vectors(vectors, database)
+        with obs.span(
+            "analyze.measure", function=self._function, vectors=len(vectors)
+        ):
+            campaign = runner.run_vectors(vectors, database)
 
         # degradation bookkeeping: any injected fault that may have cost
         # observations (a phase cut short, a vector lost, a solver query
@@ -274,37 +280,41 @@ class WcetAnalyzer:
         #    while feasible-but-unmeasured segments (uncovered targets,
         #    exhausted query budgets) enter at a static worst-case estimate
         #    instead of failing the analysis
-        unreachable = self._fully_infeasible_segments(partition, suite, database)
-        pessimised = {
-            segment.segment_id: static_segment_pessimisation(
-                cfg, segment, cost_model
+        with obs.span("analyze.schema", function=self._function):
+            unreachable = self._fully_infeasible_segments(
+                partition, suite, database
             )
-            for segment in partition.segments
-            if database.max_cycles(segment.segment_id) is None
-            and segment.segment_id not in unreachable
-        }
-        floors = None
-        if fault_events:
-            floors = {
+            pessimised = {
                 segment.segment_id: static_segment_pessimisation(
                     cfg, segment, cost_model
                 )
                 for segment in partition.segments
-                if segment.segment_id not in unreachable
+                if database.max_cycles(segment.segment_id) is None
+                and segment.segment_id not in unreachable
             }
-        schema = TimingSchema(
-            cfg,
-            partition,
-            default_loop_bound=config.partition_options.default_loop_bound or 1,
-            callee_bounds=self._callee_bounds,
-            call_overhead=cost_model.call_overhead,
-        )
-        bound = schema.compute(
-            database,
-            unreachable_segments=unreachable,
-            pessimised_segments=pessimised,
-            floor_segments=floors,
-        )
+            floors = None
+            if fault_events:
+                floors = {
+                    segment.segment_id: static_segment_pessimisation(
+                        cfg, segment, cost_model
+                    )
+                    for segment in partition.segments
+                    if segment.segment_id not in unreachable
+                }
+            schema = TimingSchema(
+                cfg,
+                partition,
+                default_loop_bound=config.partition_options.default_loop_bound
+                or 1,
+                callee_bounds=self._callee_bounds,
+                call_overhead=cost_model.call_overhead,
+            )
+            bound = schema.compute(
+                database,
+                unreachable_segments=unreachable,
+                pessimised_segments=pessimised,
+                floor_segments=floors,
+            )
 
         # 6. optional exhaustive end-to-end comparison; the verification board
         #    executes the *real* callee bodies (no stubs), so a summarised
@@ -318,9 +328,10 @@ class WcetAnalyzer:
                 max_steps=config.max_steps_per_run,
             )
         try:
-            end_to_end = self._maybe_exhaustive(
-                verification_board, generator.input_space
-            )
+            with obs.span("analyze.exhaustive", function=self._function):
+                end_to_end = self._maybe_exhaustive(
+                    verification_board, generator.input_space
+                )
         except InjectedFault as fault:
             end_to_end = None
             fault_events.append(

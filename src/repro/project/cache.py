@@ -46,7 +46,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from .. import perf
+from .. import obs, perf
 from ..pipeline.analyzer import AnalyzerConfig
 from ..resilience import FaultInjector, FaultKind, InjectedFault
 from .model import config_fingerprint
@@ -142,7 +142,8 @@ class ResultCache:
             spec = self._maybe_fault("cache.read", key)
             if spec is not None and spec.kind is FaultKind.CORRUPT:
                 corrupt_payload = True
-            with perf.timed("project.cache.lookup"):
+            with obs.span("cache.read", key=key[:12]), \
+                    perf.timed("project.cache.lookup"):
                 summary = self._read(key, force_corrupt=corrupt_payload)
         except InjectedFault as fault:
             self.read_failures += 1
@@ -214,7 +215,8 @@ class ResultCache:
             indent=2,
         )
         try:
-            with perf.timed("project.cache.store"), self._lock():
+            with obs.span("cache.write", key=key[:12]), \
+                    perf.timed("project.cache.store"), self._lock():
                 path.parent.mkdir(parents=True, exist_ok=True)
                 handle = tempfile.NamedTemporaryFile(
                     "w",

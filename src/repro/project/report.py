@@ -21,8 +21,10 @@ from ..wcet.report import WcetReport
 #: schema tag of the JSON project report
 #: bumped to /3 with the query-engine refactor (budget-exhaustion totals);
 #: /4 added the resilience section (quarantined/degraded/retries/pool
-#: restarts, fault plan, diagnostics)
-PROJECT_REPORT_SCHEMA = "repro-project-report/4"
+#: restarts, fault plan, diagnostics); /5 added the observability section
+#: (trace id/span count of a traced run) and flight-recorder dump records
+#: under resilience
+PROJECT_REPORT_SCHEMA = "repro-project-report/5"
 
 
 @dataclass
@@ -172,6 +174,13 @@ class ProjectReport:
     fault_plan: list[str] = field(default_factory=list)
     #: warn-once run diagnostics (cache write failures, quarantines, ...)
     diagnostics: list[str] = field(default_factory=list)
+    #: ``{trigger, trace_id, path}`` records of the flight-recorder dumps
+    #: written during the run (quarantines, fired faults)
+    flight_dumps: list[dict[str, Any]] = field(default_factory=list)
+    #: trace id of the run's root span (None when the run was untraced)
+    trace_id: str | None = None
+    #: span events the run's tracer held when the report was built
+    trace_spans: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -266,6 +275,12 @@ class ProjectReport:
                 "retries": self.total_retries,
                 "pool_restarts": self.pool_restarts,
                 "diagnostics": list(self.diagnostics),
+                "flight_dumps": [dict(dump) for dump in self.flight_dumps],
+            },
+            "observability": {
+                "trace_id": self.trace_id,
+                "trace_spans": self.trace_spans,
+                "flight_dumps": len(self.flight_dumps),
             },
             "interprocedural": {
                 "summary_reuse_calls": self.summary_reuse_calls,
@@ -334,6 +349,17 @@ class ProjectReport:
         if self.cache_quarantined:
             lines.append(
                 f"  cache entries quarantined : {self.cache_quarantined}"
+            )
+        if self.trace_id:
+            lines.append(
+                f"  trace                     : {self.trace_id} "
+                f"({self.trace_spans} span(s))"
+            )
+        for dump in self.flight_dumps:
+            lines.append(
+                f"  flight dump               : {dump.get('path')} "
+                f"(trigger: {dump.get('trigger')}, "
+                f"trace: {dump.get('trace_id')})"
             )
         for diagnostic in self.diagnostics:
             lines.append(f"  ! {diagnostic}")

@@ -35,13 +35,14 @@ reason in ``ProjectReport.fallback_reason`` and the perf registry
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
 import enum
 import pickle
 import time
 from dataclasses import dataclass, field
 
-from .. import perf
+from .. import obs, perf
 from ..minic import parse_and_analyze
 from ..pipeline.analyzer import (
     AnalyzerConfig,
@@ -139,18 +140,27 @@ def _execute_analysis(
     fault_plan: FaultPlan | None = None,
     job_timeout_seconds: float | None = None,
     inject_job_fault: bool = False,
-) -> tuple[dict, float]:
-    """Analyse one function from its unit source; return (summary dict, seconds).
+    trace: dict | None = None,
+) -> tuple[dict, float, list]:
+    """Analyse one function from its unit source.
 
-    Module-level so it pickles into process-pool workers; the worker re-parses
-    the unit from source, which keeps the inter-process payload to plain
-    strings plus the (picklable, dataclass-only) config, bound mapping and
-    fault sub-plan.  ``fault_plan`` carries only the job-internal sites
-    (``mc.solve``, ``interp.step``): each job evaluates them against a fresh
-    injector with its own hit counters, so what fires never depends on how
-    jobs interleave across workers.  ``inject_job_fault`` is the
-    scheduler-decided ``job.execute`` crash (a pure function of plan seed,
-    job name and attempt number, shipped as a flag for the same reason).
+    Returns ``(summary dict, seconds, span events)``.  Module-level so it
+    pickles into process-pool workers; the worker re-parses the unit from
+    source, which keeps the inter-process payload to plain strings plus the
+    (picklable, dataclass-only) config, bound mapping and fault sub-plan.
+    ``fault_plan`` carries only the job-internal sites (``mc.solve``,
+    ``interp.step``): each job evaluates them against a fresh injector with
+    its own hit counters, so what fires never depends on how jobs interleave
+    across workers.  ``inject_job_fault`` is the scheduler-decided
+    ``job.execute`` crash (a pure function of plan seed, job name and
+    attempt number, shipped as a flag for the same reason).
+
+    ``trace`` is the serialised span handshake
+    (``{"trace_id", "parent_id", "max_events"}``): the worker records its
+    spans into a private tracer under that parent and returns the events,
+    which the scheduler merges back into its own tracer -- the cross-process
+    half of the end-to-end trace tree.  ``None`` (untraced run) costs
+    nothing and returns an empty event list.
     """
     started = time.perf_counter()
     injector = (
@@ -159,22 +169,42 @@ def _execute_analysis(
         else None
     )
     deadline = Deadline(job_timeout_seconds) if job_timeout_seconds else None
-    analyzed = parse_and_analyze(source, filename=unit_name)
-    if injector is None and deadline is None and not inject_job_fault:
-        report = WcetAnalyzer(
-            analyzed, function_name, config, callee_bounds=callee_bounds
-        ).analyze()
-    else:
-        with activate(ResilienceContext(injector=injector, deadline=deadline)):
-            if inject_job_fault:
-                raise InjectedFault(
-                    "job.execute", "injected job crash", 1
+    tracer: obs.Tracer | None = None
+    with contextlib.ExitStack() as stack:
+        if trace is not None:
+            tracer = obs.Tracer(max_events=trace.get("max_events"))
+            stack.enter_context(
+                obs.using_tracer(
+                    tracer,
+                    obs.SpanContext(
+                        trace_id=trace["trace_id"], span_id=trace["parent_id"]
+                    ),
                 )
+            )
+            stack.enter_context(
+                obs.span("project.job", function=function_name, worker="pool")
+            )
+        analyzed = parse_and_analyze(source, filename=unit_name)
+        if injector is None and deadline is None and not inject_job_fault:
             report = WcetAnalyzer(
                 analyzed, function_name, config, callee_bounds=callee_bounds
             ).analyze()
-    summary = FunctionSummary.from_report(unit_name, config.partitioner, report)
-    return summary.to_dict(), time.perf_counter() - started
+        else:
+            with activate(
+                ResilienceContext(injector=injector, deadline=deadline)
+            ):
+                if inject_job_fault:
+                    raise InjectedFault(
+                        "job.execute", "injected job crash", 1
+                    )
+                report = WcetAnalyzer(
+                    analyzed, function_name, config, callee_bounds=callee_bounds
+                ).analyze()
+        summary = FunctionSummary.from_report(
+            unit_name, config.partitioner, report
+        )
+    events = tracer.events() if tracer is not None else []
+    return summary.to_dict(), time.perf_counter() - started, events
 
 
 class ProjectScheduler:
@@ -194,6 +224,7 @@ class ProjectScheduler:
         job_timeout_seconds: float | None = None,
         pool_restart_budget: int = 2,
         progress_callback=None,
+        flight_recorder: obs.FlightRecorder | None = None,
     ):
         """``fault_plan``/``retry_policy``/``job_timeout_seconds`` are the
         resilience knobs: the plan injects deterministic faults (chaos
@@ -212,6 +243,11 @@ class ProjectScheduler:
         the hook the analysis service uses to stream job progress to
         polling clients.  Callback errors are swallowed: observers must
         never be able to fail an analysis.
+
+        ``flight_recorder`` receives a trace dump whenever a job is
+        quarantined or a fault fires; when omitted and the cache is
+        persistent, one is created over ``<cache root>/diagnostics`` (next
+        to the cache's ``corrupt/`` quarantine).
         """
         from ..callgraph.summaries import (
             DEFAULT_UNKNOWN_CALL_CYCLES,
@@ -257,6 +293,17 @@ class ProjectScheduler:
         )
         if self._injector is not None:
             self._cache.fault_injector = self._injector
+        self._flight = flight_recorder
+        if self._flight is None and self._cache.root is not None:
+            self._flight = obs.FlightRecorder(
+                self._cache.root / obs.DIAGNOSTICS_DIR
+            )
+        #: records of the flight dumps written by the last run
+        self.flight_dumps: list[dict] = []
+        #: trace id of the last run's root span (None when untraced)
+        self.trace_id: str | None = None
+        #: the tracer the last run recorded into (ambient or auto-armed ring)
+        self._tracer: obs.Tracer | None = None
         #: the resolved project call graph (built lazily with the jobs;
         #: ``None`` in flat mode)
         self.callgraph = None
@@ -368,20 +415,52 @@ class ProjectScheduler:
         started = time.perf_counter()
         jobs = self.jobs()
         perf.add("project.jobs", len(jobs))
+        self.flight_dumps = []
+        self.trace_id = None
 
-        with perf.timed("project.schedule"):
-            waves = self._waves(jobs)
-            self.waves_executed = len(waves)
-            perf.add("project.scheduler.waves", len(waves))
-            for wave_index, wave in enumerate(waves):
-                ready: list[AnalysisJob] = []
-                for job in wave:
-                    job.wave = wave_index
-                    if not self._fail_on_broken_deps(job, jobs):
-                        ready.append(job)
-                runnable = self._probe_cache(ready)
-                self._execute(runnable)
-                self._harvest_summaries(wave)
+        with contextlib.ExitStack() as stack:
+            tracer = obs.active_tracer()
+            if (
+                (tracer is None or not tracer.enabled)
+                and not self._fault_plan.is_empty
+            ):
+                # chaos runs arm a private bounded ring so a quarantine or
+                # fired fault always has a recent timeline to freeze into a
+                # flight dump, even without --trace
+                tracer = obs.Tracer(max_events=obs.DEFAULT_RING_EVENTS)
+                stack.enter_context(obs.using_tracer(tracer))
+            self._tracer = (
+                tracer if tracer is not None and tracer.enabled else None
+            )
+            root = stack.enter_context(
+                obs.span(
+                    "project.run", functions=len(jobs), workers=self._workers
+                )
+            )
+            if root is not None:
+                self.trace_id = root.trace_id
+
+            with perf.timed("project.schedule"):
+                waves = self._waves(jobs)
+                self.waves_executed = len(waves)
+                perf.add("project.scheduler.waves", len(waves))
+                for wave_index, wave in enumerate(waves):
+                    ready: list[AnalysisJob] = []
+                    for job in wave:
+                        job.wave = wave_index
+                        if not self._fail_on_broken_deps(job, jobs):
+                            ready.append(job)
+                    with obs.span(
+                        "project.wave", wave=wave_index, jobs=len(ready)
+                    ):
+                        runnable = self._probe_cache(ready)
+                        self._execute(runnable)
+                    self._harvest_summaries(wave)
+
+            if not self.flight_dumps:
+                fired = self._fired_fault_summary(jobs)
+                if fired is not None:
+                    self._flight_dump("faults-injected", detail=fired)
 
         failures = [
             ProjectFailure(
@@ -415,6 +494,9 @@ class ProjectScheduler:
             cache_quarantined=self._cache.quarantined,
             fault_plan=self._fault_plan.describe(),
             diagnostics=list(self._cache.diagnostics),
+            flight_dumps=list(self.flight_dumps),
+            trace_id=self.trace_id,
+            trace_spans=len(self._tracer) if self._tracer is not None else 0,
         )
 
     # ------------------------------------------------------------------ #
@@ -752,6 +834,16 @@ class ProjectScheduler:
         """One submit/drain cycle; returns jobs to retry serially."""
         pending: dict[concurrent.futures.Future, AnalysisJob] = {}
         retry_serially: list[AnalysisJob] = []
+        # the cross-process span handshake: workers record under the wave
+        # span as parent and ship their events back for merging
+        trace_payload = None
+        context = obs.current_context()
+        if self._tracer is not None and context is not None:
+            trace_payload = {
+                "trace_id": context.trace_id,
+                "parent_id": context.span_id,
+                "max_events": self._tracer.max_events,
+            }
         with pool:
             for job in jobs:
                 unit = self._project.unit(job.function.unit)
@@ -772,12 +864,13 @@ class ProjectScheduler:
                     self._job_fault_plan(),
                     self._job_timeout,
                     inject,
+                    trace_payload,
                 )
                 pending[future] = job
             for future in concurrent.futures.as_completed(pending):
                 job = pending.pop(future)
                 try:
-                    payload, seconds = future.result()
+                    payload, seconds, span_events = future.result()
                 except (
                     concurrent.futures.process.BrokenProcessPool,
                     pickle.PicklingError,
@@ -813,6 +906,8 @@ class ProjectScheduler:
                     else:
                         self._fail(job, error)
                     continue
+                if span_events and self._tracer is not None:
+                    self._tracer.merge(span_events)
                 self._complete(
                     job, FunctionSummary.from_dict(payload), seconds
                 )
@@ -832,7 +927,12 @@ class ProjectScheduler:
             job.attempts += 1
             started = time.perf_counter()
             try:
-                summary, seconds = self._run_job(job, unit, started)
+                with obs.span(
+                    "project.job",
+                    function=job.qualified_name,
+                    worker="serial",
+                ):
+                    summary, seconds = self._run_job(job, unit, started)
             except JobTimeout as error:
                 # a deterministic computation would time out again: no retry
                 self._quarantine(job, f"wall-clock timeout: {error}")
@@ -902,6 +1002,37 @@ class ProjectScheduler:
         return summary, time.perf_counter() - started
 
     # ------------------------------------------------------------------ #
+    def _flight_dump(self, trigger: str, detail: str | None = None) -> None:
+        """Freeze the recent trace timeline into the diagnostics directory."""
+        if self._flight is None:
+            return
+        record = self._flight.dump(
+            trigger,
+            tracer=self._tracer,
+            trace_id=self.trace_id,
+            detail=detail,
+        )
+        if record is not None:
+            self.flight_dumps.append(record)
+            perf.add("obs.flight.dumps")
+
+    def _fired_fault_summary(self, jobs: list[AnalysisJob]) -> str | None:
+        """One line describing the faults this run absorbed (None = clean)."""
+        fired: list[str] = []
+        if self._injector is not None:
+            fired.extend(self._injector.fired)
+        for job in jobs:
+            fired.extend(job.fault_events)
+            if job.summary is not None:
+                fired.extend(
+                    event
+                    for event in job.summary.fault_events
+                    if event not in job.fault_events
+                )
+        if not fired:
+            return None
+        return f"{len(fired)} fault(s): " + "; ".join(fired[:8])
+
     def _quarantine(self, job: AnalysisJob, reason: str) -> None:
         """Isolate a crashing/timing-out job behind a static pessimised bound.
 
@@ -933,6 +1064,10 @@ class ProjectScheduler:
         job.state = JobState.QUARANTINED
         job.error = reason
         perf.add("project.jobs_quarantined")
+        self._flight_dump(
+            f"quarantine-{job.qualified_name}",
+            detail=f"{job.qualified_name}: {reason}",
+        )
         self._notify(job)
 
     def _complete(

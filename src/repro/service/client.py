@@ -106,6 +106,11 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         return self._json("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition of ``GET /v1/metrics``."""
+        _, _, payload = self._request("GET", "/v1/metrics")
+        return payload.decode("utf-8")
+
     def analyze(
         self,
         units: dict[str, str],

@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from .. import perf
+from .. import obs, perf
 from ..pipeline.analyzer import AnalyzerConfig
 from ..project import (
     AnalysisJob,
@@ -98,9 +98,14 @@ class ServiceJob:
     state: ServiceJobState = ServiceJobState.QUEUED
     #: POST submissions that mapped to this job (>= 2 means deduplication)
     submissions: int = 1
-    created_at: float = field(default_factory=time.time)
+    #: monotonic timestamps (elapsed arithmetic only -- a stepped wall
+    #: clock must never produce a negative or inflated job duration)
+    created_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
+    #: serialised span context of the submitting HTTP request; the worker
+    #: re-attaches under it so the whole analysis shares one trace_id
+    trace_context: dict[str, str] | None = None
     #: functions completed so far: qualified name -> terminal job state
     progress: dict[str, str] = field(default_factory=dict)
     #: functions whose transitive fingerprint changed vs the session's
@@ -125,7 +130,7 @@ class ServiceJob:
     def elapsed_seconds(self) -> float:
         if self.started_at is None:
             return 0.0
-        return (self.finished_at or time.time()) - self.started_at
+        return (self.finished_at or time.monotonic()) - self.started_at
 
     def status_payload(self) -> dict[str, Any]:
         """The JSON body of ``GET /v1/jobs/<id>``."""
@@ -268,6 +273,9 @@ class JobQueue:
                 function_fingerprints=fingerprints,
                 session=session,
             )
+            context = obs.current_context()
+            if context is not None:
+                job.trace_context = context.to_dict()
             if session is not None:
                 previous = self._sessions.get(session)
                 if previous is not None:
@@ -343,8 +351,13 @@ class JobQueue:
 
     def _execute(self, job: ServiceJob) -> None:
         job.state = ServiceJobState.RUNNING
-        job.started_at = time.time()
+        job.started_at = time.monotonic()
         registry = perf.PerfRegistry()
+        # the worker's own bounded ring, parented on the submitting HTTP
+        # request's span -- request, queueing and scheduler run share one
+        # trace_id, and a failing job has a timeline to dump
+        tracer = obs.Tracer(max_events=obs.DEFAULT_RING_EVENTS)
+        parent = obs.SpanContext.from_dict(job.trace_context)
 
         def on_progress(analysis_job: AnalysisJob) -> None:
             job.progress[analysis_job.qualified_name] = (
@@ -352,7 +365,9 @@ class JobQueue:
             )
 
         try:
-            with perf.using_registry(registry):
+            with perf.using_registry(registry), \
+                    obs.using_tracer(tracer, parent), \
+                    obs.span("service.job", job_id=job.job_id):
                 with perf.timed("service.job.execute"):
                     report = ProjectScheduler(
                         job.project,
@@ -375,7 +390,7 @@ class JobQueue:
                 else classify_error(error)
             )
             job.state = ServiceJobState.FAILED
-            job.finished_at = time.time()
+            job.finished_at = time.monotonic()
             job.perf_report = registry.report()
             with self._lock:
                 self.failed += 1
@@ -385,7 +400,7 @@ class JobQueue:
         job.report = report
         job.perf_report = registry.report()
         job.state = ServiceJobState.DONE
-        job.finished_at = time.time()
+        job.finished_at = time.monotonic()
         with self._lock:
             self.completed += 1
             if job.session is not None:

@@ -23,6 +23,16 @@ versioned JSON API served by :class:`http.server.ThreadingHTTPServer`:
 ``GET /v1/healthz`` / ``GET /v1/stats``
     Liveness, queue/session/cache statistics, per-endpoint request
     counters, per-request latency aggregates and resilience diagnostics.
+``GET /v1/metrics``
+    Prometheus text exposition (0.0.4) of the server's aggregate perf
+    registry -- counters as ``_total``, timers as ``_seconds`` histograms
+    backed by the registry's bounded latency buckets -- plus labelled
+    per-endpoint/per-status request counts.
+
+Every request runs under a span (``service.request``) in a bounded ring
+tracer; 5xx responses freeze that ring into a ``diagnostics/`` flight dump
+(when the shared cache is persistent) and echo the request's ``trace_id``
+and dump path in the error body.
 
 Failure semantics follow the resilience layer's transient-vs-permanent
 classification: transient trouble (including injected ``service.request``
@@ -44,7 +54,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from .. import perf
+from .. import obs, perf
 from ..pipeline.analyzer import AnalyzerConfig
 from ..project import ProjectError, ResultCache
 from ..resilience import (
@@ -112,7 +122,15 @@ class AnalysisServer:
             FaultInjector(request_plan) if not request_plan.is_empty else None
         )
         self._request_timeout = request_timeout_seconds
-        self._started_at = time.time()
+        # monotonic: uptime must never jump when the wall clock is stepped
+        self._started_at = time.monotonic()
+        #: flight recorder for 5xx responses; persistent-cache servers dump
+        #: into the cache's diagnostics/ directory, cacheless ones skip it
+        self.flight: obs.FlightRecorder | None = None
+        if self.queue.cache.root is not None:
+            self.flight = obs.FlightRecorder(
+                self.queue.cache.root / obs.DIAGNOSTICS_DIR
+            )
         #: server-level aggregate registry (per-request registries are
         #: isolated; their latency/endpoint counts are folded in here)
         self.registry = perf.PerfRegistry()
@@ -230,7 +248,7 @@ class AnalysisServer:
     def healthz_payload(self) -> dict[str, Any]:
         return {
             "status": "ok",
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_at,
             "queue_depth": self.queue.depth,
             "cache_enabled": self.queue.cache.enabled,
         }
@@ -246,7 +264,7 @@ class AnalysisServer:
             injected = self._injected_requests
         return {
             "server": {
-                "uptime_seconds": time.time() - self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_at,
                 "request_timeout_seconds": self._request_timeout,
             },
             "requests": {
@@ -262,6 +280,49 @@ class AnalysisServer:
             },
             "perf": self.registry.report(),
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition served by ``GET /v1/metrics``.
+
+        The aggregate registry's counters and (histogram-backed) timers plus
+        the labelled per-endpoint/per-status request counts.
+        """
+        with self._stats_lock:
+            requests = dict(self._requests)
+            responses = dict(self._responses)
+            injected = self._injected_requests
+        extra: list[tuple[str, dict[str, str] | None, int]] = [
+            ("service.requests.by_endpoint", {"endpoint": name}, count)
+            for name, count in sorted(requests.items())
+        ]
+        extra.extend(
+            ("service.responses.by_status", {"status": str(status)}, count)
+            for status, count in sorted(responses.items())
+        )
+        extra.append(("service.requests.injected", None, injected))
+        return obs.prometheus_text(
+            self.registry.report(), extra_counters=extra
+        )
+
+    def record_failure(
+        self,
+        status: int,
+        trace_id: str | None,
+        tracer: obs.Tracer | None,
+        detail: str,
+    ) -> dict[str, Any] | None:
+        """Dump the request's trace ring on a 5xx; returns the dump record."""
+        if self.flight is None:
+            return None
+        record = self.flight.dump(
+            f"http-{status}",
+            tracer=tracer,
+            trace_id=trace_id,
+            detail=detail,
+        )
+        if record is not None:
+            self.registry.add("obs.flight.dumps")
+        return record
 
 
 # ---------------------------------------------------------------------- #
@@ -314,17 +375,39 @@ def _make_handler(server: AnalysisServer) -> type[BaseHTTPRequestHandler]:
             self.send_header("Content-Length", "0")
             self.end_headers()
 
+        def _send_text(
+            self, status: int, text: str, content_type: str
+        ) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if self.command != "HEAD":
+                self.wfile.write(body)
+
         def _send_error_json(
             self, status: int, message: str, retryable: bool = False
         ) -> None:
             headers = (
                 {"Retry-After": str(RETRY_AFTER_SECONDS)} if retryable else None
             )
-            self._send_json(
-                status,
-                {"error": message, "retryable": retryable},
-                headers=headers,
-            )
+            body: dict[str, Any] = {"error": message, "retryable": retryable}
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id is not None:
+                body["trace_id"] = trace_id
+            if status >= 500:
+                # a server-side failure freezes the request's span ring so
+                # the 503/500 body names the dump that explains it
+                record = server.record_failure(
+                    status,
+                    trace_id,
+                    getattr(self, "_tracer", None),
+                    message,
+                )
+                if record is not None:
+                    body["flight_dump"] = record["path"]
+            self._send_json(status, body, headers=headers)
 
         # -------------------------------------------------------------- #
         def _dispatch(self, method: str) -> None:
@@ -341,8 +424,15 @@ def _make_handler(server: AnalysisServer) -> type[BaseHTTPRequestHandler]:
             # every request runs under its own registry: whatever the
             # handling records can never bleed into another request's view
             request_registry = perf.PerfRegistry()
+            # ... and under its own bounded span ring, so a failing request
+            # has a recent timeline to dump without unbounded growth
+            self._tracer = obs.Tracer(max_events=obs.DEFAULT_RING_EVENTS)
+            self._trace_id = None
             try:
-                with perf.using_registry(request_registry):
+                with obs.using_tracer(self._tracer), obs.span(
+                    "service.request", method=method, endpoint=endpoint
+                ) as context, perf.using_registry(request_registry):
+                    self._trace_id = context.trace_id
                     # the chaos site fires before any state changes: an
                     # injected request fault is answered 503 and nothing
                     # (job queue, sessions, cache) has been touched
@@ -412,6 +502,11 @@ def _make_handler(server: AnalysisServer) -> type[BaseHTTPRequestHandler]:
                 return 200
             if method == "GET" and route == "stats":
                 self._send_json(200, server.stats_payload())
+                return 200
+            if method == "GET" and route == "metrics":
+                self._send_text(
+                    200, server.metrics_text(), obs.PROMETHEUS_CONTENT_TYPE
+                )
                 return 200
             raise ServiceError(404, f"no route for {method} {path}")
 

@@ -19,6 +19,7 @@ import threading
 
 import pytest
 
+from repro import obs
 from repro.pipeline import AnalyzerConfig
 from repro.project import Project, ProjectScheduler, ResultCache
 from repro.resilience import FaultPlan
@@ -331,9 +332,16 @@ def test_injected_request_faults_answer_clean_503(tmp_path):
         # the fault fired before any work was enqueued: nothing was
         # analysed, nothing reached the shared cache
         assert srv.queue.stats()["submitted"] == 0
-    assert not list(cache_dir.rglob("*.json")), (
+    cached = [
+        path
+        for path in cache_dir.rglob("*.json")
+        if obs.DIAGNOSTICS_DIR not in path.parts
+    ]
+    assert not cached, (
         "a degraded (faulted) request must never populate the cache"
     )
+    # ...but each injected 5xx leaves a flight dump in diagnostics/
+    assert list((cache_dir / obs.DIAGNOSTICS_DIR).glob("flight-*.json"))
 
 
 def test_partial_request_faults_recover_and_serve():
