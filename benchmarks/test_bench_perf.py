@@ -92,6 +92,33 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
         "budget-exhausted",
     )
 
+    # the query-store section: the warm industrial batch must answer every
+    # query from disk -- zero solver runs, full hit rate, bit-identical
+    # verdicts and witness payloads -- and the renamed clone must hit the
+    # original's entries (fingerprints ignore function names)
+    querystore = report["querystore"]
+    assert querystore["warm_zero_solver_runs"], (
+        "warm run re-ran the solver: "
+        f"{querystore['warm_stats']['solver_runs']} solver runs, "
+        f"{querystore['warm_stats']['store_hits']} store hits of "
+        f"{querystore['warm_stats']['planned']} planned"
+    )
+    assert querystore["warm_identical"], (
+        "warm store-served results diverged from the cold run"
+    )
+    assert querystore["cross_run_hit_rate"] == 1.0
+    assert querystore["cross_function_hit_rate"] == 1.0, (
+        "renamed clone missed the store: "
+        f"hit rate {querystore['cross_function_hit_rate']:.2f}"
+    )
+    assert querystore["warm_stats"]["replay_failures"] == 0
+    for key in (
+        "querystore_cold_deep",
+        "querystore_warm_deep",
+        "querystore_cross_function",
+    ):
+        assert timings[key] >= 0.0, key
+
     # the call-graph scheduling section: multiple waves, summaries reused,
     # and a warm cache pass that hits for every function
     callgraph = report["callgraph"]
@@ -137,6 +164,7 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     assert on_disk["workload"]["basic_blocks"] == industrial_app.basic_blocks
     assert on_disk["pipeline"] == pipeline
     assert on_disk["mcquery"] == mcquery
+    assert on_disk["querystore"] == querystore
     assert on_disk["service"] == service
 
     lines = [

@@ -110,6 +110,8 @@ def _apply_mc_flags(config: AnalyzerConfig, args: argparse.Namespace) -> None:
     mc.budget = budget
     if args.no_slicing:
         mc.slicing = False
+    if getattr(args, "probe_policy", None) is not None:
+        mc.probe_policy = args.probe_policy
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -145,6 +147,12 @@ def _add_mc_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-slicing", action="store_true",
         help="disable per-goal cone-of-influence slicing of the model",
+    )
+    parser.add_argument(
+        "--probe-policy", choices=("adaptive", "fixed"), default=None,
+        help="prefix-probe insertion policy of the query plan: 'adaptive' "
+        "(payoff heuristic, default) or 'fixed' (historical >= 3-sharers "
+        "threshold)",
     )
 
 
@@ -218,6 +226,13 @@ def _cmd_project(args: argparse.Namespace) -> int:
         if args.no_cache
         else ResultCache(args.cache_dir)
     )
+    if args.no_query_cache:
+        query_cache = ResultCache.disabled()
+    elif args.query_cache_dir is not None:
+        query_cache = ResultCache(args.query_cache_dir)
+    else:
+        # share the result cache directory (the scheduler default)
+        query_cache = None
     from .resilience import RetryPolicy
 
     plan = _fault_plan(args)
@@ -235,6 +250,7 @@ def _cmd_project(args: argparse.Namespace) -> int:
         ),
         job_timeout_seconds=args.job_timeout,
         pool_restart_budget=args.pool_restarts,
+        query_cache=query_cache,
     )
     if args.no_interprocedural:
         for flag, value in (
@@ -324,6 +340,10 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
     print(f"entries ok      : {report['ok']}")
     print(f"quarantined     : {report['quarantined']}")
     print(f"schema mismatch : {report['schema_mismatch']}")
+    print(
+        f"query entries   : {report['query_checked']} checked, "
+        f"{report['query_ok']} ok, {report['query_quarantined']} quarantined"
+    )
     for note in report["entries"]:
         print(f"  ! {note}")
     return 0 if not report["quarantined"] else 1
@@ -528,6 +548,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     project.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+    project.add_argument(
+        "--query-cache", dest="query_cache_dir", metavar="DIR", default=None,
+        help="directory of the persistent model-checking query store "
+        "(per-goal verdicts + replay-validated witnesses); default: share "
+        "the result cache directory",
+    )
+    project.add_argument(
+        "--no-query-cache", action="store_true",
+        help="disable the persistent query store (solver runs are never "
+        "answered from disk)",
     )
     project.add_argument(
         "--no-exhaustive", action="store_true",

@@ -27,7 +27,8 @@ from .result import (
     Counterexample,
     Verdict,
 )
-from .slicing import GoalSlice, slice_for_goal
+from .slicing import GoalSlice, slice_for_goal, system_fingerprint
+from .store import QueryStore, active_query_store, goal_fingerprint, using_query_store
 from .symbolic import SymbolicEngine, SymbolicEngineOptions
 
 __all__ = [
@@ -46,6 +47,11 @@ __all__ = [
     "Verdict",
     "GoalSlice",
     "slice_for_goal",
+    "system_fingerprint",
+    "QueryStore",
+    "active_query_store",
+    "goal_fingerprint",
+    "using_query_store",
     "PlannedQuery",
     "QueryBudget",
     "QueryEngine",

@@ -20,11 +20,18 @@ Every model-checking question the WCET tool chain asks ("reach this block",
 * witnesses are memoised per ``(slice fingerprint, goal)`` and replayed
   against later goals of the batch (a witness that reaches block 40 through
   block 17 also answers the block-17 query), and proven-infeasible label
-  sequences subsume every extension.
+  sequences subsume every extension;
+* when a persistent :class:`~repro.mc.store.QueryStore` is ambient
+  (:func:`~repro.mc.store.using_query_store`), settled verdicts and
+  witnesses survive the process: they are written through the crash-safe
+  result cache keyed by the *content* fingerprint of the sliced system, and
+  loaded back -- witness-replay-validated -- before any engine runs, so a
+  warm run answers every planned query from disk with zero solver calls.
 
 Progress is surfaced through :mod:`repro.perf`: counters ``mc.query.*``
 (planned / sliced / cache_hits / escalations / budget_exhausted /
-prefix_hits / witness_reuse) and timers ``mc.plan`` / ``mc.slice`` /
+prefix_hits / witness_reuse / store_hits / store_misses / store_writes /
+replay_failures / solver_runs) and timers ``mc.plan`` / ``mc.slice`` /
 ``mc.solve``.
 """
 
@@ -47,7 +54,13 @@ from .result import (
     Counterexample,
     Verdict,
 )
-from .slicing import GoalSlice, forward_reachable_locations, slice_for_goal
+from .slicing import (
+    GoalSlice,
+    forward_reachable_locations,
+    slice_for_goal,
+    system_fingerprint,
+)
+from .store import QueryStore, active_query_store
 from .symbolic import SymbolicEngine, SymbolicEngineOptions
 
 
@@ -96,8 +109,14 @@ class PlannedQuery:
     is_probe: bool = False
 
 
-#: a prefix probe is worth a query when at least this many goals share it
+#: ("fixed" policy) a prefix probe is worth a query when at least this many
+#: goals share it
 PREFIX_PROBE_THRESHOLD = 3
+
+#: probe when the expected subsumption savings beat the probe cost (default)
+PROBE_POLICY_ADAPTIVE = "adaptive"
+#: the historical fixed >= :data:`PREFIX_PROBE_THRESHOLD` sharers rule
+PROBE_POLICY_FIXED = "fixed"
 
 
 class QueryPlan:
@@ -105,9 +124,12 @@ class QueryPlan:
 
     Edge-sequence goals are clustered lexicographically by their label
     sequences so goals sharing prefixes run back to back (maximising
-    witness reuse and prefix subsumption), and prefixes shared by at least
-    :data:`PREFIX_PROBE_THRESHOLD` goals get a feasibility probe that runs
-    first: one UNREACHABLE probe answers every goal extending it.
+    witness reuse and prefix subsumption), and shared prefixes worth
+    probing get a feasibility probe that runs first: one UNREACHABLE probe
+    answers every goal extending it.  Which prefixes are worth it is the
+    probe policy's call -- ``adaptive`` (default) weighs expected savings
+    against probe cost, ``fixed`` keeps the historical "at least
+    :data:`PREFIX_PROBE_THRESHOLD` sharers" rule.
     """
 
     def __init__(self, items: list[PlannedQuery]):
@@ -127,6 +149,7 @@ class QueryPlan:
         cls,
         goals: list[tuple[object, ReachabilityGoal]],
         probe_threshold: int = PREFIX_PROBE_THRESHOLD,
+        probe_policy: str = PROBE_POLICY_ADAPTIVE,
     ) -> "QueryPlan":
         with obs.span("mc.plan", goals=len(goals)), perf.timed("mc.plan"):
             ordered_goals = sorted(
@@ -140,6 +163,10 @@ class QueryPlan:
                 and not goal.target_locations
                 and not goal.target_labels
             ]
+            if probe_policy == PROBE_POLICY_FIXED:
+                prefixes = cls._shared_prefixes(sequences, probe_threshold)
+            else:
+                prefixes = cls._adaptive_prefixes(sequences)
             probes = [
                 PlannedQuery(
                     key=("probe", prefix),
@@ -149,7 +176,7 @@ class QueryPlan:
                     ),
                     is_probe=True,
                 )
-                for prefix in cls._shared_prefixes(sequences, probe_threshold)
+                for prefix in prefixes
             ]
             items = probes + [
                 PlannedQuery(key=key, goal=goal) for key, goal in ordered_goals
@@ -173,15 +200,56 @@ class QueryPlan:
             for prefix, count in counts.items()
             if count >= threshold and len(continuations[prefix]) >= 2
         }
-        deepest = [
+        return QueryPlan._deepest(candidates)
+
+    @staticmethod
+    def _adaptive_prefixes(
+        sequences: list[tuple[str, ...]],
+    ) -> list[tuple[str, ...]]:
+        """Branching prefixes whose probe is expected to pay for itself.
+
+        A probe costs roughly one search over the prefix (``len(prefix)``
+        path steps).  If it proves the prefix infeasible it saves every
+        sharer's full search: ``count * len(prefix)`` shared steps plus the
+        sharers' extension steps beyond the prefix.  Probing is worth it
+        when the potential saving is a healthy multiple of the cost --
+        ``count*len(p) + extension_steps >= 4*len(p)`` -- so *two* goals
+        sharing a deep prefix with long tails get a probe the fixed >= 3
+        rule would skip, while several goals sharing a long prefix with
+        tiny tails (the probe costs nearly as much as just answering them)
+        do not.
+        """
+        counts: dict[tuple[str, ...], int] = {}
+        continuations: dict[tuple[str, ...], set[str]] = {}
+        extension_steps: dict[tuple[str, ...], int] = {}
+        for sequence in sequences:
+            for cut in range(1, len(sequence)):
+                prefix = sequence[:cut]
+                counts[prefix] = counts.get(prefix, 0) + 1
+                continuations.setdefault(prefix, set()).add(sequence[cut])
+                extension_steps[prefix] = extension_steps.get(prefix, 0) + (
+                    len(sequence) - cut
+                )
+        candidates = {
+            prefix
+            for prefix, count in counts.items()
+            if count >= 2
+            and len(continuations[prefix]) >= 2
+            and count * len(prefix) + extension_steps[prefix] >= 4 * len(prefix)
+        }
+        return QueryPlan._deepest(candidates)
+
+    @staticmethod
+    def _deepest(candidates: set[tuple[str, ...]]) -> list[tuple[str, ...]]:
+        """Drop candidates that another candidate extends (probe deepest)."""
+        return sorted(
             prefix
             for prefix in candidates
             if not any(
                 other != prefix and other[: len(prefix)] == prefix
                 for other in candidates
             )
-        ]
-        return sorted(deepest)
+        )
 
 
 @dataclass
@@ -213,6 +281,16 @@ class QueryEngineStats:
     #: queries degraded to ENGINE_FAULT because every stage's solver died
     #: on an injected fault
     engine_faults: int = 0
+    #: queries answered from the persistent store (replay-validated)
+    store_hits: int = 0
+    #: store lookups that found nothing usable (absent, corrupt or stale)
+    store_misses: int = 0
+    #: verdicts/witnesses persisted to the store by this engine
+    store_writes: int = 0
+    #: store entries rejected because their witness failed to replay
+    replay_failures: int = 0
+    #: engine-portfolio stage executions (zero on a fully warm run)
+    solver_runs: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -229,6 +307,9 @@ class QueryEngine:
         self._translation = translation
         self._options = options or QueryEngineOptions()
         self.stats = QueryEngineStats()
+        #: content fingerprint of the full model (computed on first use;
+        #: the store key of goals whose slice removed nothing)
+        self._full_fingerprint: str | None = None
         #: forward-reachable locations of the full model (goal-independent)
         self._forward: frozenset[int] | None = None
         #: goal-seed -> GoalSlice (many goals share one slice)
@@ -259,25 +340,10 @@ class QueryEngine:
         self.stats.planned += 1
         perf.add("mc.query.planned")
 
-        # 1. a proven-infeasible prefix subsumes every extension
-        if (
-            goal.ordered_labels
-            and not goal.target_locations
-            and not goal.target_labels
-        ):
-            for prefix in self._infeasible_prefixes:
-                if goal.ordered_labels[: len(prefix)] == prefix:
-                    self.stats.prefix_hits += 1
-                    perf.add("mc.query.prefix_hits")
-                    return CheckResult(
-                        verdict=Verdict.UNREACHABLE,
-                        statistics=self._empty_statistics(),
-                        goal_description=goal.description,
-                    )
-
-        # 2. per-(slice, goal) memo
+        # 1. per-(slice content, goal) memo -- in-process; unlike the
+        #    persistent store it also remembers UNKNOWN/BUDGET_EXHAUSTED
         goal_slice = self._slice_for(goal)
-        fingerprint = goal_slice.fingerprint if goal_slice is not None else "full"
+        fingerprint = self._content_fingerprint(goal_slice)
         memo_key = (fingerprint, goal)
         cached = self._memo.get(memo_key)
         if cached is not None:
@@ -290,18 +356,92 @@ class QueryEngine:
                 cached, statistics=replace(cached.statistics, time_seconds=0.0)
             )
 
-        # 3. an earlier witness may already answer this goal
+        # 2. the persistent store: replay-validated verdicts from earlier
+        #    runs (and from other functions sharing this cone).  Checked
+        #    before prefix subsumption and witness reuse so a warm run
+        #    answers *every* first-seen goal from disk (store_hits ==
+        #    planned), which is what the zero-solver-calls gate measures.
+        store = active_query_store()
+        replay_system = self._replay_system(goal_slice)
+        if store is not None:
+            failures_before = store.stats.replay_failures
+            loaded = store.load(fingerprint, goal, replay_system)
+            self.stats.replay_failures += (
+                store.stats.replay_failures - failures_before
+            )
+            if loaded is not None:
+                self.stats.store_hits += 1
+                result = self._from_store(goal, goal_slice, *loaded)
+                self._note_outcome(goal, result)
+                self._memo[memo_key] = result
+                return result
+            self.stats.store_misses += 1
+
+        # 3. a proven-infeasible prefix subsumes every extension
+        if (
+            goal.ordered_labels
+            and not goal.target_locations
+            and not goal.target_labels
+        ):
+            for prefix in self._infeasible_prefixes:
+                if goal.ordered_labels[: len(prefix)] == prefix:
+                    self.stats.prefix_hits += 1
+                    perf.add("mc.query.prefix_hits")
+                    result = CheckResult(
+                        verdict=Verdict.UNREACHABLE,
+                        statistics=self._empty_statistics(),
+                        goal_description=goal.description,
+                    )
+                    # subsumption derives from a proof over this system, so
+                    # the verdict is as persistable as the proof itself
+                    self._persist(store, fingerprint, goal, replay_system, result)
+                    return result
+
+        # 4. an earlier witness may already answer this goal
         reused = self._covered_by_known_witness(goal)
         if reused is not None:
             self.stats.witness_reuse += 1
             perf.add("mc.query.witness_reuse")
             self._memo[memo_key] = reused
+            self._persist(store, fingerprint, goal, replay_system, reused)
             return reused
 
-        # 4. the budgeted engine portfolio
+        # 5. the budgeted engine portfolio
         result = self._run_portfolio(goal, goal_slice)
 
-        # 5. bookkeeping for the rest of the batch
+        # 6. bookkeeping for the rest of the batch (and later runs)
+        self._note_outcome(goal, result)
+        if result.verdict is not Verdict.ENGINE_FAULT:
+            # a faulted query is a property of this run's fault plan, not of
+            # the goal: memoising it would let one injected crash answer
+            # later sibling goals with a degraded verdict
+            self._memo[memo_key] = result
+            self._persist(store, fingerprint, goal, replay_system, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # persistent store plumbing
+    # ------------------------------------------------------------------ #
+    def _content_fingerprint(self, goal_slice: GoalSlice | None) -> str:
+        """The store/memo key component: content hash of the search model.
+
+        A slice that removed nothing hashes identically to the full system,
+        so "no slicing" and "improper slice" share entries by construction.
+        """
+        if goal_slice is not None:
+            return goal_slice.fingerprint
+        if self._full_fingerprint is None:
+            self._full_fingerprint = system_fingerprint(self._translation.system)
+        return self._full_fingerprint
+
+    def _replay_system(self, goal_slice: GoalSlice | None):
+        """The system witnesses are serialised against and replayed on."""
+        if goal_slice is not None and goal_slice.is_proper:
+            return goal_slice.translation.system
+        return self._translation.system
+
+    def _note_outcome(self, goal: ReachabilityGoal, result: CheckResult) -> None:
+        """Feed a settled result into the batch-shared bookkeeping."""
         if (
             result.verdict is Verdict.UNREACHABLE
             and goal.ordered_labels
@@ -312,12 +452,80 @@ class QueryEngine:
         if result.verdict is Verdict.REACHABLE and result.counterexample is not None:
             if result.counterexample.trace:
                 self._witnesses.append(result.counterexample)
-        if result.verdict is not Verdict.ENGINE_FAULT:
-            # a faulted query is a property of this run's fault plan, not of
-            # the goal: memoising it would let one injected crash answer
-            # later sibling goals with a degraded verdict
-            self._memo[memo_key] = result
-        return result
+
+    def _persist(
+        self,
+        store: QueryStore | None,
+        fingerprint: str,
+        goal: ReachabilityGoal,
+        replay_system,
+        result: CheckResult,
+    ) -> None:
+        if store is None:
+            return
+        if store.save(
+            fingerprint, goal, replay_system, result.verdict, result.counterexample
+        ):
+            self.stats.store_writes += 1
+
+    def _from_store(
+        self,
+        goal: ReachabilityGoal,
+        goal_slice: GoalSlice | None,
+        verdict: Verdict,
+        counterexample: Counterexample | None,
+    ) -> CheckResult:
+        """Materialise a store hit as a full-model result.
+
+        The replayed witness lives on the sliced system.  For every
+        variable of the full model the stored value is used when it is
+        valid here (an integer, in domain, matching a fixed initial), and
+        re-completed exactly like :meth:`_complete_counterexample` would
+        otherwise -- so a same-function warm hit is bit-identical to the
+        cold result it memoises, while a cross-function hit gets sound
+        deterministic values for the variables the producer never had.
+        """
+        stats = self._empty_statistics()
+        if verdict is Verdict.REACHABLE and counterexample is not None:
+            stored = counterexample.initial_state
+            initial_state: dict[str, int] = {}
+            for name, variable in self._translation.system.variables.items():
+                value = stored.get(name)
+                if (
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and variable.domain.lo <= value <= variable.domain.hi
+                    and (variable.initial is None or value == variable.initial)
+                ):
+                    initial_state[name] = value
+                else:
+                    initial_state[name] = (
+                        variable.initial
+                        if variable.initial is not None
+                        else variable.domain.lo
+                    )
+            inputs = {
+                name: initial_state[name]
+                for name, variable in self._translation.system.variables.items()
+                if variable.is_input
+            }
+            counterexample = Counterexample(
+                inputs=inputs,
+                initial_state=initial_state,
+                trace=list(counterexample.trace),
+            )
+            stats.steps = counterexample.steps
+            return CheckResult(
+                verdict=Verdict.REACHABLE,
+                counterexample=counterexample,
+                statistics=stats,
+                goal_description=goal.description,
+            )
+        return CheckResult(
+            verdict=Verdict.UNREACHABLE,
+            statistics=stats,
+            goal_description=goal.description,
+        )
 
     # ------------------------------------------------------------------ #
     # slicing
@@ -427,6 +635,10 @@ class QueryEngine:
             try:
                 with obs.span("mc.solve", engine=label), perf.timed("mc.solve"):
                     maybe_fault("mc.solve", goal.description)
+                    # the warm-run gate: a run answered entirely from memo,
+                    # subsumption and the store executes zero engine stages
+                    self.stats.solver_runs += 1
+                    perf.add("mc.query.solver_runs")
                     result = engine.check(goal)
             except StateSpaceTooLarge:
                 if self._options.engine is EngineKind.EXPLICIT:

@@ -31,8 +31,53 @@ import hashlib
 from dataclasses import dataclass
 
 from ..minic.folding import expression_variables
+from ..minic.pretty import print_expression
 from ..transsys.translate import TranslationResult
 from .property import ReachabilityGoal
+
+
+def system_fingerprint(system) -> str:
+    """Content hash of a transition system, stable across runs and names.
+
+    Hashes exactly what the engines see -- initial location, variable
+    domains/kinds/initial values, and every transition's printed guard,
+    updates and labels -- and deliberately *excludes* ``system.name``: two
+    functions whose sliced cones are structurally identical share one
+    fingerprint, so persisted verdicts transfer across functions and runs.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(system.initial_location).encode("utf-8"))
+    for name in sorted(system.variables):
+        variable = system.variables[name]
+        digest.update(
+            repr(
+                (
+                    name,
+                    variable.domain.lo,
+                    variable.domain.hi,
+                    variable.is_input,
+                    variable.initial,
+                )
+            ).encode("utf-8")
+        )
+    for transition in system.transitions:
+        digest.update(
+            repr(
+                (
+                    transition.source,
+                    transition.target,
+                    print_expression(transition.guard)
+                    if transition.guard is not None
+                    else None,
+                    tuple(
+                        (name, print_expression(expr))
+                        for name, expr in transition.updates
+                    ),
+                    tuple(transition.labels),
+                )
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()[:16]
 
 
 @dataclass
@@ -154,13 +199,13 @@ def slice_for_goal(
     dropped_variables = frozenset(system.variables) - kept_variables
 
     sliced = translation.sliced(kept_variables, kept_transitions)
-    digest = hashlib.sha256()
-    digest.update(system.name.encode("utf-8"))
-    digest.update(repr(tuple(kept_indices)).encode("utf-8"))
-    digest.update(repr(tuple(sorted(kept_variables))).encode("utf-8"))
     return GoalSlice(
         translation=sliced,
-        fingerprint=digest.hexdigest()[:16],
+        # a *content* hash of the sliced system (not of the kept index set):
+        # stable across processes and across functions whose cones coincide,
+        # which is what lets the persistent query store survive edits
+        # outside the cone
+        fingerprint=system_fingerprint(sliced.system),
         kept_variables=kept_variables,
         dropped_variables=dropped_variables,
         kept_transition_count=len(kept_transitions),

@@ -40,6 +40,14 @@ Times the whole-pipeline trajectory on the synthetic applications:
   comparison (an edited project re-analyses only its invalidation
   frontier, with the served payloads required identical to a cold run of
   the edited sources);
+* **query store** (since ``repro-bench-perf/8``) -- the persistent
+  model-checking memoisation of :mod:`repro.mc.store`: the budgeted
+  industrial deep batch cold (populating a fresh store) versus warm (a
+  fresh engine over the same store), where the warm run must answer
+  *every* query from disk with **zero** solver runs and bit-identical
+  verdicts/witnesses, plus a cross-function pass on a renamed clone of
+  the small application (content fingerprints ignore function names, so
+  the clone hits the original's entries);
 * **observability** (since ``repro-bench-perf/7``) -- the tracing and
   metrics layer of :mod:`repro.obs`: a plain scheduler run versus the same
   run under a *disabled* ambient tracer (the tracing-off overhead of the
@@ -70,7 +78,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/7"
+BENCH_SCHEMA = "repro-bench-perf/8"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -99,6 +107,20 @@ def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
         result = fn()
         best = min(best, time.perf_counter() - started)
     return best, result
+
+
+def _block_targets(model, cfg, count: int) -> list[int]:
+    """*count* block-goal targets spread evenly over *model*'s blocks."""
+    blocks = sorted(
+        block.block_id
+        for block in cfg.real_blocks()
+        if block.block_id in model.translation.block_location
+    )
+    step = max(1, len(blocks) // count)
+    picked = blocks[::step][:count]
+    if blocks and picked and picked[-1] != blocks[-1]:
+        picked[-1] = blocks[-1]  # always include the deepest block
+    return picked
 
 
 def _liveness_equal(reference, optimised) -> bool:
@@ -220,20 +242,8 @@ def _bench_mc_query(
     from ..mc.property import GoalBuilder
     from ..mc.query import QueryBudget, QueryEngine, QueryEngineOptions
 
-    def block_targets(model, cfg, count: int) -> list[int]:
-        blocks = sorted(
-            block.block_id
-            for block in cfg.real_blocks()
-            if block.block_id in model.translation.block_location
-        )
-        step = max(1, len(blocks) // count)
-        picked = blocks[::step][:count]
-        if blocks and picked and picked[-1] != blocks[-1]:
-            picked[-1] = blocks[-1]  # always include the deepest block
-        return picked
-
     # --- small app: identical goal batch, sliced vs unsliced --------------- #
-    small_targets = block_targets(small_model, small_app.cfg, MCQUERY_SMALL_QUERIES)
+    small_targets = _block_targets(small_model, small_app.cfg, MCQUERY_SMALL_QUERIES)
     small_builder = GoalBuilder(
         block_location=small_model.translation.block_location
     )
@@ -256,7 +266,7 @@ def _bench_mc_query(
 
     # --- industrial app: budgeted deep-query batch ------------------------- #
     budget = QueryBudget(**MCQUERY_DEEP_BUDGET)
-    deep_targets = block_targets(industrial_model, app.cfg, MCQUERY_DEEP_QUERIES)
+    deep_targets = _block_targets(industrial_model, app.cfg, MCQUERY_DEEP_QUERIES)
     deep_builder = GoalBuilder(
         block_location=industrial_model.translation.block_location
     )
@@ -306,6 +316,130 @@ def _bench_mc_query(
         "deep_budget_exhausted": deep_stats["budget_exhausted"],
         "deep_worst_query_seconds": deep_worst,
         "deep_unsliced_probe_verdict": probe.verdict.value,
+    }
+    return timings, details
+
+
+def _bench_query_store(
+    app, small_app, industrial_model, small_model
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the persistent query store (querystore section).
+
+    The cold industrial batch populates a fresh store; the warm batch runs
+    the same goals on a *fresh engine and fresh store handle* over the same
+    directory, so everything it knows came through the replay-validated
+    on-disk entries.  The warm run is the tentpole gate: every query must
+    be a store hit, the portfolio must execute **zero** solver runs, and
+    verdicts plus witness payloads must be bit-identical to the cold run.
+    The cross-function pass re-runs the small-app batch on a renamed clone
+    of the same source -- the content fingerprints ignore function names,
+    so the clone's queries are answered by the original's entries.
+    """
+    import tempfile
+
+    from ..mc.property import GoalBuilder
+    from ..mc.query import QueryBudget, QueryEngine, QueryEngineOptions
+    from ..mc.store import QueryStore, using_query_store
+    from ..minic import parse_and_analyze
+    from ..optim.pipeline import OptimizationConfig, build_optimized_model
+    from ..project.cache import ResultCache
+
+    budget = QueryBudget(**MCQUERY_DEEP_BUDGET)
+    deep_targets = _block_targets(industrial_model, app.cfg, MCQUERY_DEEP_QUERIES)
+    deep_builder = GoalBuilder(
+        block_location=industrial_model.translation.block_location
+    )
+
+    def deep_batch(store):
+        engine = QueryEngine(
+            industrial_model.translation,
+            QueryEngineOptions(budget=budget, slicing=True),
+        )
+        results = {}
+        with using_query_store(store):
+            for block_id in deep_targets:
+                results[block_id] = engine.check(
+                    deep_builder.reach_block(block_id)
+                )
+        return engine.stats.as_dict(), results
+
+    def identical(cold_results, warm_results) -> bool:
+        for block_id, cold in cold_results.items():
+            warm = warm_results[block_id]
+            if warm.verdict is not cold.verdict:
+                return False
+            if (cold.counterexample is None) != (warm.counterexample is None):
+                return False
+            if cold.counterexample is not None and (
+                warm.counterexample.inputs != cold.counterexample.inputs
+                or warm.counterexample.initial_state
+                != cold.counterexample.initial_state
+            ):
+                return False
+        return True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s, (cold_stats, cold_results) = _best_of(
+            1, lambda: deep_batch(QueryStore(ResultCache(tmp)))
+        )
+        warm_s, (warm_stats, warm_results) = _best_of(
+            1, lambda: deep_batch(QueryStore(ResultCache(tmp)))
+        )
+        warm_identical = identical(cold_results, warm_results)
+
+    # --- cross-function transfer: a renamed clone of the small app --------- #
+    clone_name = small_app.function_name + "_clone"
+    clone_model = build_optimized_model(
+        parse_and_analyze(
+            small_app.source.replace(
+                f"void {small_app.function_name}", f"void {clone_name}", 1
+            )
+        ),
+        clone_name,
+        OptimizationConfig.cfg_preserving(),
+    )
+
+    def small_batch(model, cfg, store):
+        engine = QueryEngine(
+            model.translation, QueryEngineOptions(budget=QueryBudget())
+        )
+        builder = GoalBuilder(block_location=model.translation.block_location)
+        with using_query_store(store):
+            for block_id in _block_targets(model, cfg, MCQUERY_SMALL_QUERIES):
+                engine.check(builder.reach_block(block_id))
+        return engine.stats.as_dict()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_s, _ = _best_of(
+            1,
+            lambda: small_batch(small_model, small_app.cfg, QueryStore(ResultCache(tmp))),
+        )
+        clone_s, clone_stats = _best_of(
+            1,
+            lambda: small_batch(clone_model, small_app.cfg, QueryStore(ResultCache(tmp))),
+        )
+
+    def hit_rate(stats: dict[str, Any]) -> float:
+        return stats["store_hits"] / max(stats["planned"], 1)
+
+    timings = {
+        "querystore_cold_deep": cold_s,
+        "querystore_warm_deep": warm_s,
+        "querystore_cross_function": clone_s,
+    }
+    details = {
+        "deep_queries": len(deep_targets),
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "cross_run_hit_rate": hit_rate(warm_stats),
+        "warm_zero_solver_runs": (
+            warm_stats["solver_runs"] == 0
+            and warm_stats["store_hits"] == warm_stats["planned"]
+            and warm_stats["replay_failures"] == 0
+        ),
+        "warm_identical": warm_identical,
+        "cross_function_stats": clone_stats,
+        "cross_function_hit_rate": hit_rate(clone_stats),
     }
     return timings, details
 
@@ -834,6 +968,9 @@ def run_perf_bench(
     mcquery_timings, mcquery_details = _bench_mc_query(
         app, small_app, industrial_model, small_model, repeats
     )
+    querystore_timings, querystore_details = _bench_query_store(
+        app, small_app, industrial_model, small_model
+    )
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
     resilience_timings, resilience_details = _bench_resilience(seed)
     service_timings, service_details = _bench_service(seed)
@@ -864,6 +1001,7 @@ def run_perf_bench(
             "optimised_cold_first_run": cold_seconds,
             **pipeline_timings,
             **mcquery_timings,
+            **querystore_timings,
             **callgraph_timings,
             **resilience_timings,
             **service_timings,
@@ -881,11 +1019,14 @@ def run_perf_bench(
         },
         "pipeline": pipeline_details,
         "mcquery": mcquery_details,
+        "querystore": querystore_details,
         "callgraph": callgraph_details,
         "resilience": resilience_details,
         "service": service_details,
         "obs": obs_details,
         "results_match": results_match
+        and querystore_details["warm_zero_solver_runs"]
+        and querystore_details["warm_identical"]
         and resilience_details["clean_identical_under_empty_plan"]
         and resilience_details["clean_identical_under_armed_plan"]
         and resilience_details["bound_safety"]
@@ -978,6 +1119,26 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{'deep unsliced probe':<22} {'-':>12} "
             f"{timings['mcquery_deep_unsliced_probe']:>11.4f}s "
             f"(verdict: {mcquery['deep_unsliced_probe_verdict']})",
+        ]
+    querystore = report.get("querystore")
+    if querystore:
+        speed = timings["querystore_cold_deep"] / max(
+            timings["querystore_warm_deep"], 1e-9
+        )
+        lines += [
+            "persistent query store (verdicts + replay-validated witnesses):",
+            f"{'deep batch cold':<22} {'-':>12} "
+            f"{timings['querystore_cold_deep']:>11.4f}s "
+            f"({querystore['deep_queries']} queries, "
+            f"{querystore['cold_stats']['store_writes']} entries written)",
+            f"{'deep batch warm':<22} {'-':>12} "
+            f"{timings['querystore_warm_deep']:>11.4f}s "
+            f"({speed:.1f}x, hit rate {querystore['cross_run_hit_rate']:.2f}, "
+            f"{querystore['warm_stats']['solver_runs']} solver runs, "
+            f"identical: {querystore['warm_identical']})",
+            f"{'cross-function clone':<22} {'-':>12} "
+            f"{timings['querystore_cross_function']:>11.4f}s "
+            f"(hit rate {querystore['cross_function_hit_rate']:.2f})",
         ]
     callgraph = report.get("callgraph")
     if callgraph:

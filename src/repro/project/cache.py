@@ -61,8 +61,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 #: interprocedural summary fields and switched keys to transitive
 #: fingerprints; /3 added budget-exhaustion counts to generator statistics;
 #: /4 added the resilience fields (degraded/quarantined/retries) to
-#: :class:`FunctionSummary` payloads
-CACHE_SCHEMA = "repro-project-cache/4"
+#: :class:`FunctionSummary` payloads; /5 added the ``kind`` discriminator
+#: and the model-checking query namespace (persisted per-(slice, goal)
+#: verdicts + witnesses, see :mod:`repro.mc.store`)
+CACHE_SCHEMA = "repro-project-cache/5"
 
 #: sibling directory quarantined (corrupt) entries are moved into
 CORRUPT_DIR = "corrupt"
@@ -76,6 +78,10 @@ class ResultCache:
         self.enabled = enabled and self._root is not None
         self.hits = 0
         self.misses = 0
+        #: query-namespace lookups (kept apart from the function-level
+        #: ``hits``/``misses``, which feed the project report's cache stats)
+        self.query_hits = 0
+        self.query_misses = 0
         self.write_failures = 0
         self.read_failures = 0
         self.quarantined = 0
@@ -109,6 +115,20 @@ class ResultCache:
         digest = hashlib.sha256(
             "\n".join(
                 [CACHE_SCHEMA, function_fingerprint, config_fingerprint(config)]
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def query_key_for(self, slice_fingerprint: str, goal_fingerprint: str) -> str:
+        """Cache key of one (sliced system, goal) model-checking query.
+
+        The ``"query"`` component namespaces these keys away from the
+        function-level ones, so both kinds share one directory, lock and
+        quarantine machinery without ever colliding.
+        """
+        digest = hashlib.sha256(
+            "\n".join(
+                [CACHE_SCHEMA, "query", slice_fingerprint, goal_fingerprint]
             ).encode("utf-8")
         )
         return digest.hexdigest()
@@ -187,6 +207,12 @@ class ResultCache:
             self.schema_mismatches += 1
             perf.add("project.cache.schema_mismatches")
             return None
+        if payload.get("kind", "function") != "function":
+            # a query-namespace entry under a function key cannot happen by
+            # construction; treat a mislabelled one as another version's
+            self.schema_mismatches += 1
+            perf.add("project.cache.schema_mismatches")
+            return None
         summary = payload.get("summary")
         if not isinstance(summary, dict):
             self._quarantine(path, key, "entry has no summary object")
@@ -209,11 +235,20 @@ class ResultCache:
         """
         if not self.enabled:
             return
-        path = self.path_for(key)
         text = json.dumps(
-            {"schema": CACHE_SCHEMA, "key": key, "summary": summary.result_payload()},
+            {
+                "schema": CACHE_SCHEMA,
+                "key": key,
+                "kind": "function",
+                "summary": summary.result_payload(),
+            },
             indent=2,
         )
+        self._store_text(key, text)
+
+    def _store_text(self, key: str, text: str) -> bool:
+        """Atomically persist one entry's JSON text (shared by both kinds)."""
+        path = self.path_for(key)
         try:
             with obs.span("cache.write", key=key[:12]), \
                     perf.timed("project.cache.store"), self._lock():
@@ -248,8 +283,97 @@ class ResultCache:
                     f"cache writes are failing (first: {key[:12]}…: {error}); "
                     "results are kept in memory but will not be reused"
                 )
-            return
+            return False
         perf.add("project.cache.stores")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # the model-checking query namespace (see repro.mc.store)
+    # ------------------------------------------------------------------ #
+    def get_query(self, key: str) -> dict | None:
+        """Load the raw query-store entry under *key*, or ``None`` on a miss.
+
+        Mirrors :meth:`get` (fault site, span, quarantine on corruption) but
+        hands back the raw entry object: *semantic* validation -- checksum,
+        fingerprint echo, witness replay -- belongs to
+        :class:`repro.mc.store.QueryStore`, which treats anything invalid
+        as a miss and quarantines it via :meth:`quarantine_query`.
+        """
+        if not self.enabled:
+            return None
+        try:
+            corrupt_payload = False
+            spec = self._maybe_fault("cache.read", key)
+            if spec is not None and spec.kind is FaultKind.CORRUPT:
+                corrupt_payload = True
+            with obs.span("cache.read", key=key[:12]), \
+                    perf.timed("project.cache.lookup"):
+                entry = self._read_query(key, force_corrupt=corrupt_payload)
+        except InjectedFault as fault:
+            self.read_failures += 1
+            perf.add("project.cache.read_failures")
+            self.diagnostics.append(f"cache read failed for {key[:12]}…: {fault}")
+            entry = None
+        if entry is None:
+            self.query_misses += 1
+            perf.add("project.cache.query_misses")
+            return None
+        self.query_hits += 1
+        perf.add("project.cache.query_hits")
+        return entry
+
+    def _read_query(self, key: str, force_corrupt: bool = False) -> dict | None:
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            self.read_failures += 1
+            perf.add("project.cache.read_failures")
+            self.diagnostics.append(f"cache read failed for {key[:12]}…: {error}")
+            return None
+        if force_corrupt:
+            text = text[: max(1, len(text) // 2)]
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            self._quarantine(path, key, f"unparsable JSON: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, key, "payload is not a JSON object")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            self.schema_mismatches += 1
+            perf.add("project.cache.schema_mismatches")
+            return None
+        if payload.get("kind") != "query":
+            self.schema_mismatches += 1
+            perf.add("project.cache.schema_mismatches")
+            return None
+        entry = payload.get("entry")
+        if not isinstance(entry, dict):
+            self._quarantine(path, key, "query entry has no entry object")
+            return None
+        return entry
+
+    def put_query(self, key: str, entry: dict) -> bool:
+        """Store one query-store entry (atomic; ``False`` when not stored)."""
+        if not self.enabled:
+            return False
+        text = json.dumps(
+            {"schema": CACHE_SCHEMA, "key": key, "kind": "query", "entry": entry},
+            indent=2,
+        )
+        return self._store_text(key, text)
+
+    def quarantine_query(self, key: str, reason: str) -> None:
+        """Quarantine the query entry under *key* (e.g. failed witness replay)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        if path.is_file():
+            self._quarantine(path, key, reason)
 
     # ------------------------------------------------------------------ #
     def etag(self, key: str) -> str | None:
@@ -292,6 +416,8 @@ class ResultCache:
             "bytes": total_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
             "write_failures": self.write_failures,
             "read_failures": self.read_failures,
             "schema_mismatches": self.schema_mismatches,
@@ -323,20 +449,30 @@ class ResultCache:
         )
 
     def verify(self) -> dict[str, object]:
-        """Sweep every entry, quarantining corrupt ones.
+        """Sweep every entry of both kinds, quarantining corrupt ones.
 
-        Returns ``{"checked": n, "ok": n, "quarantined": n,
-        "schema_mismatch": n, "entries": [...diagnostics...]}``.
+        Function entries are checked by re-reading them; query entries get
+        the offline structural validation of :mod:`repro.mc.store`
+        (checksum over the canonical entry, verdict/witness shape, trace
+        chaining) -- witness *replay* needs the sliced system and happens
+        on the load path instead.  Returns ``{"checked": n, "ok": n,
+        "quarantined": n, "schema_mismatch": n, "query_checked": n,
+        "query_ok": n, "query_quarantined": n, "entries": [...]}``.
         """
         report: dict[str, object] = {
             "checked": 0,
             "ok": 0,
             "quarantined": 0,
             "schema_mismatch": 0,
+            "query_checked": 0,
+            "query_ok": 0,
+            "query_quarantined": 0,
             "entries": [],
         }
         if not self.enabled or self._root is None or not self._root.is_dir():
             return report
+        from ..mc.store import structural_error
+
         notes: list[str] = report["entries"]  # type: ignore[assignment]
         for shard in sorted(self._root.iterdir()):
             if not shard.is_dir() or shard.name == CORRUPT_DIR:
@@ -344,18 +480,49 @@ class ResultCache:
             for path in sorted(shard.glob("*.json")):
                 key = path.stem
                 report["checked"] = int(report["checked"]) + 1
+                is_query = self._entry_kind(path) == "query"
+                if is_query:
+                    report["query_checked"] = int(report["query_checked"]) + 1
                 quarantined_before = self.quarantined
-                summary = self._read(key)
-                if summary is not None:
+                if is_query:
+                    entry = self._read_query(key)
+                    if entry is not None:
+                        reason = structural_error(entry)
+                        if reason is not None:
+                            self._quarantine(
+                                path, key, f"query entry invalid: {reason}"
+                            )
+                            entry = None
+                    ok = entry is not None
+                    if ok:
+                        report["query_ok"] = int(report["query_ok"]) + 1
+                else:
+                    ok = self._read(key) is not None
+                if ok:
                     report["ok"] = int(report["ok"]) + 1
                 elif self.quarantined > quarantined_before:
                     report["quarantined"] = int(report["quarantined"]) + 1
+                    if is_query:
+                        report["query_quarantined"] = (
+                            int(report["query_quarantined"]) + 1
+                        )
                     notes.append(self.diagnostics[-1])
                 else:
                     report["schema_mismatch"] = int(report["schema_mismatch"]) + 1
                     notes.append(f"schema mismatch (stale version): {key[:12]}…")
         perf.add("project.cache.verified_entries", int(report["checked"]))
         return report
+
+    def _entry_kind(self, path: Path) -> str | None:
+        """Best-effort ``kind`` discriminator of one entry file."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        kind = payload.get("kind", "function")
+        return kind if isinstance(kind, str) else None
 
 
 class _CacheLock:

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 
 from .. import obs, perf
+from ..mc.store import QueryStore, using_query_store
 from ..minic import parse_and_analyze
 from ..pipeline.analyzer import (
     AnalyzerConfig,
@@ -141,6 +142,7 @@ def _execute_analysis(
     job_timeout_seconds: float | None = None,
     inject_job_fault: bool = False,
     trace: dict | None = None,
+    query_cache_dir: str | None = None,
 ) -> tuple[dict, float, list]:
     """Analyse one function from its unit source.
 
@@ -161,6 +163,13 @@ def _execute_analysis(
     which the scheduler merges back into its own tracer -- the cross-process
     half of the end-to-end trace tree.  ``None`` (untraced run) costs
     nothing and returns an empty event list.
+
+    ``query_cache_dir`` (the scheduler's cache root) re-opens the shared
+    persistent model-checking query store inside the worker: verdicts and
+    witnesses flow through the same crash-safe, flock-serialised files the
+    serial path uses, so pool runs populate and profit from the store
+    identically.  Replay failures quarantine the entry on disk in-place;
+    the worker keeps no other store state worth shipping back.
     """
     started = time.perf_counter()
     injector = (
@@ -183,6 +192,10 @@ def _execute_analysis(
             )
             stack.enter_context(
                 obs.span("project.job", function=function_name, worker="pool")
+            )
+        if query_cache_dir is not None:
+            stack.enter_context(
+                using_query_store(QueryStore(ResultCache(query_cache_dir)))
             )
         analyzed = parse_and_analyze(source, filename=unit_name)
         if injector is None and deadline is None and not inject_job_fault:
@@ -225,6 +238,7 @@ class ProjectScheduler:
         pool_restart_budget: int = 2,
         progress_callback=None,
         flight_recorder: obs.FlightRecorder | None = None,
+        query_cache: ResultCache | None = None,
     ):
         """``fault_plan``/``retry_policy``/``job_timeout_seconds`` are the
         resilience knobs: the plan injects deterministic faults (chaos
@@ -248,6 +262,15 @@ class ProjectScheduler:
         quarantined or a fault fires; when omitted and the cache is
         persistent, one is created over ``<cache root>/diagnostics`` (next
         to the cache's ``corrupt/`` quarantine).
+
+        ``query_cache`` backs the persistent model-checking query store
+        (per-(slice, goal) verdicts + witnesses, :mod:`repro.mc.store`).
+        ``None`` shares the result cache -- a plain warm ``project`` run
+        answers every unchanged reachability query from disk with zero
+        solver calls -- and :meth:`ResultCache.disabled` opts out.  Like
+        the fault plan it is deliberately not part of the fingerprinted
+        :class:`AnalyzerConfig`: store entries are replay-validated on
+        load, so where (or whether) they persist never changes a verdict.
         """
         from ..callgraph.summaries import (
             DEFAULT_UNKNOWN_CALL_CYCLES,
@@ -293,6 +316,19 @@ class ProjectScheduler:
         )
         if self._injector is not None:
             self._cache.fault_injector = self._injector
+        #: persistent model-checking query store (None = disabled)
+        self._query_cache = query_cache if query_cache is not None else self._cache
+        self._query_store = (
+            QueryStore(self._query_cache) if self._query_cache.enabled else None
+        )
+        if (
+            self._injector is not None
+            and self._query_cache is not self._cache
+            and self._query_store is not None
+        ):
+            # a dedicated query cache joins the chaos plan like the shared
+            # one would (cache.read / cache.write fire on query I/O too)
+            self._query_cache.fault_injector = self._injector
         self._flight = flight_recorder
         if self._flight is None and self._cache.root is not None:
             self._flight = obs.FlightRecorder(
@@ -457,6 +493,22 @@ class ProjectScheduler:
                         self._execute(runnable)
                     self._harvest_summaries(wave)
 
+            if (
+                self._query_store is not None
+                and self._query_store.replay_failures
+            ):
+                # a store entry whose witness no longer replays is hard
+                # evidence of on-disk tampering/corruption (everything
+                # written passed a save-time self-replay): freeze a timeline
+                failures = self._query_store.replay_failures
+                self._flight_dump(
+                    "query-replay-failure",
+                    detail=f"{len(failures)} rejected entr(y/ies): "
+                    + "; ".join(
+                        f"{record['goal']}: {record['reason']}"
+                        for record in failures[:8]
+                    ),
+                )
             if not self.flight_dumps:
                 fired = self._fired_fault_summary(jobs)
                 if fired is not None:
@@ -865,6 +917,10 @@ class ProjectScheduler:
                     self._job_timeout,
                     inject,
                     trace_payload,
+                    str(self._query_cache.root)
+                    if self._query_store is not None
+                    and self._query_cache.root is not None
+                    else None,
                 )
                 pending[future] = job
             for future in concurrent.futures.as_completed(pending):
@@ -971,31 +1027,33 @@ class ProjectScheduler:
         )
         deadline = Deadline(self._job_timeout) if self._job_timeout else None
         inject = self._job_execute_spec(job, job.attempts)
-        if injector is None and deadline is None and inject is None:
-            # reuse the unit's already-analysed AST in-process; the pipeline
-            # is deterministic, so this matches the worker's re-parse exactly
-            report = WcetAnalyzer(
-                unit.analyzed,
-                job.function.name,
-                self._job_config(job),
-                callee_bounds=job.callee_bounds,
-            ).analyze()
-        else:
-            with activate(
-                ResilienceContext(injector=injector, deadline=deadline)
-            ):
-                if inject is not None and inject.kind is FaultKind.RAISE:
-                    raise InjectedFault(
-                        "job.execute", "injected job crash", 1
-                    )
-                if inject is not None and inject.kind is FaultKind.DELAY:
-                    time.sleep(inject.delay_ms / 1000.0)
+        with using_query_store(self._query_store):
+            if injector is None and deadline is None and inject is None:
+                # reuse the unit's already-analysed AST in-process; the
+                # pipeline is deterministic, so this matches the worker's
+                # re-parse exactly
                 report = WcetAnalyzer(
                     unit.analyzed,
                     job.function.name,
                     self._job_config(job),
                     callee_bounds=job.callee_bounds,
                 ).analyze()
+            else:
+                with activate(
+                    ResilienceContext(injector=injector, deadline=deadline)
+                ):
+                    if inject is not None and inject.kind is FaultKind.RAISE:
+                        raise InjectedFault(
+                            "job.execute", "injected job crash", 1
+                        )
+                    if inject is not None and inject.kind is FaultKind.DELAY:
+                        time.sleep(inject.delay_ms / 1000.0)
+                    report = WcetAnalyzer(
+                        unit.analyzed,
+                        job.function.name,
+                        self._job_config(job),
+                        callee_bounds=job.callee_bounds,
+                    ).analyze()
         summary = FunctionSummary.from_report(
             unit.name, self._config.partitioner, report
         )
@@ -1104,6 +1162,7 @@ def analyze_project(
     job_timeout_seconds: float | None = None,
     pool_restart_budget: int = 2,
     progress_callback=None,
+    query_cache: ResultCache | None = None,
 ) -> ProjectReport:
     """Convenience wrapper: schedule and run every function of *project*."""
     return ProjectScheduler(
@@ -1119,4 +1178,5 @@ def analyze_project(
         job_timeout_seconds=job_timeout_seconds,
         pool_restart_budget=pool_restart_budget,
         progress_callback=progress_callback,
+        query_cache=query_cache,
     ).run()

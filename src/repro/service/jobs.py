@@ -369,6 +369,10 @@ class JobQueue:
                     obs.using_tracer(tracer, parent), \
                     obs.span("service.job", job_id=job.job_id):
                 with perf.timed("service.job.execute"):
+                    # query_cache is left at its default: service sessions
+                    # share the warm result cache, so the persistent query
+                    # store (mc verdicts + witnesses) is shared across
+                    # sessions exactly like function summaries are
                     report = ProjectScheduler(
                         job.project,
                         config=job.config,

@@ -401,8 +401,11 @@ class TestResilientScheduler:
     def test_cache_write_faults_surface_on_report(self, project, tmp_path: Path):
         plan = FaultPlan.from_args(["cache.write:raise@1+"])
         cache = ResultCache(tmp_path / "cache")
+        # the query store is disabled so every counted write failure is a
+        # function-summary write (query-namespace faults have their own test)
         report = ProjectScheduler(
-            project, config=quick_config(), cache=cache, fault_plan=plan
+            project, config=quick_config(), cache=cache, fault_plan=plan,
+            query_cache=ResultCache.disabled(),
         ).run()
         assert report.failures == []
         assert report.cache_write_failures == len(report.functions)
