@@ -119,6 +119,24 @@ def test_bench_perf_dataflow_speedup(benchmark, industrial_app, results_dir):
     ):
         assert timings[key] >= 0.0, key
 
+    # the static-analysis section: the prefiltered cold batch must answer
+    # some goals without the solver, with bit-identical verdicts, and the
+    # end-to-end pipeline must produce bit-identical bounds with sa on
+    # (the overhead percentage is reported, not gated)
+    sa = report["sa"]
+    assert sa["static_prunes"] > 0
+    assert sa["solver_runs_on"] < sa["solver_runs_off"]
+    assert sa["verdicts_identical"]
+    assert sa["pipeline_bounds_identical"]
+    for key in (
+        "sa_prefilter_analysis",
+        "sa_deep_prefilter_off",
+        "sa_deep_prefilter_on",
+        "sa_pipeline_off",
+        "sa_pipeline_on",
+    ):
+        assert timings[key] >= 0.0, key
+
     # the call-graph scheduling section: multiple waves, summaries reused,
     # and a warm cache pass that hits for every function
     callgraph = report["callgraph"]

@@ -59,6 +59,19 @@ from ..minic.types import IntRange
 _WIDENING_THRESHOLD = 3
 
 
+def variable_defaults(table: FunctionSymbolTable) -> dict[str, IntRange]:
+    """Default interval of every variable: declared (pragma) range or type range.
+
+    Shared between the range analyzer here and the sound feasibility analysis
+    in :mod:`repro.sa` so both start from the same environment.
+    """
+    defaults: dict[str, IntRange] = {}
+    for name, symbol in table.variables.items():
+        declared = symbol.declared_range
+        defaults[name] = declared if declared is not None else symbol.ctype.value_range()
+    return defaults
+
+
 @dataclass
 class RangeEnvironment:
     """A mapping from variable names to intervals (missing = type range)."""
@@ -112,10 +125,7 @@ class RangeAnalyzer:
     def __init__(self, cfg: ControlFlowGraph, table: FunctionSymbolTable):
         self._cfg = cfg
         self._table = table
-        self._defaults: dict[str, IntRange] = {}
-        for name, symbol in table.variables.items():
-            declared = symbol.declared_range
-            self._defaults[name] = declared if declared is not None else symbol.ctype.value_range()
+        self._defaults: dict[str, IntRange] = variable_defaults(table)
         #: hull of the values every variable is ever *assigned* (flow-sensitive)
         self._assigned_hull: dict[str, IntRange] = {}
 

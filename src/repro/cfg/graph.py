@@ -373,8 +373,16 @@ class ControlFlowGraph:
     # ------------------------------------------------------------------ #
     # algorithms
     # ------------------------------------------------------------------ #
-    def reachable_blocks(self) -> set[int]:
-        """Ids of blocks reachable from the entry block."""
+    def reachable_blocks(
+        self, infeasible_edges: set[tuple[int, int, str]] | frozenset | None = None
+    ) -> set[int]:
+        """Ids of blocks reachable from the entry block.
+
+        ``infeasible_edges`` optionally excludes edges a sound analysis has
+        proven can never be taken (``(source, target, kind value)`` triples,
+        see :mod:`repro.sa.feasibility`); the traversal then yields the
+        blocks reachable along *feasible* edges only.
+        """
         seen: set[int] = set()
         stack = [self.entry.block_id]
         while stack:
@@ -382,7 +390,13 @@ class ControlFlowGraph:
             if block_id in seen:
                 continue
             seen.add(block_id)
-            stack.extend(e.target for e in self._succ.get(block_id, ()))
+            for e in self._succ.get(block_id, ()):
+                if (
+                    infeasible_edges is not None
+                    and (e.source, e.target, e.kind.value) in infeasible_edges
+                ):
+                    continue
+                stack.append(e.target)
         return seen
 
     def prune_unreachable(self) -> list[int]:

@@ -47,6 +47,15 @@ tooling:
     ``--watch`` polls to completion and prints the report JSON,
     ``--session NAME`` enables incremental re-analysis across edits.
 
+``repro-wcet lint FILE...``
+    run the sound static analysis (``repro.sa``) over every function of the
+    given units and print its program diagnostics (uninitialised reads,
+    unreachable code, division by zero, signed overflow, constant branches;
+    codes SA001..SA005).  ``--json`` emits machine-readable findings; the
+    exit status is non-zero iff any ``error``-severity diagnostic was found.
+    ``analyze`` and ``project`` run the same pass as a model-checking
+    prefilter and loop-bound source; ``--no-sa`` turns it off.
+
 ``repro-wcet cache-verify``
     sweep the persistent result cache, moving corrupt entries into its
     ``corrupt/`` quarantine directory and reporting what was found
@@ -163,6 +172,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
     if args.no_exhaustive:
         config.exhaustive_limit = None
+    if args.no_sa:
+        config.static_analysis = False
     _apply_mc_flags(config, args)
     plan = _fault_plan(args)
     if plan.is_empty:
@@ -174,6 +185,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             report = WcetAnalyzer(analyzed, args.function, config).analyze()
     print(report.to_text())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .sa import diagnose, analyze_feasibility, render_diagnostics
+
+    worst = {"error": 2, "warning": 1, "info": 0}
+    exit_code = 0
+    total = 0
+    findings = []
+    for path in args.files:
+        analyzed = _load(path)
+        unit = Path(path).stem
+        for function in analyzed.program.functions:
+            if args.functions and function.name not in args.functions:
+                continue
+            cfg = build_cfg(function)
+            table = analyzed.table(function.name)
+            feasibility = analyze_feasibility(cfg, table)
+            diagnostics = diagnose(cfg, table, feasibility)
+            total += len(diagnostics)
+            if any(d.severity == "error" for d in diagnostics):
+                exit_code = 1
+            if args.json_output:
+                findings.extend(
+                    {"unit": unit, **d.to_dict()} for d in diagnostics
+                )
+            elif diagnostics:
+                for line in render_diagnostics(diagnostics).splitlines():
+                    print(f"{unit}:{line}")
+    if args.json_output:
+        findings.sort(
+            key=lambda d: (
+                d["unit"],
+                d["function"],
+                d["line"] or 0,
+                -worst.get(d["severity"], 0),
+                d["code"],
+            )
+        )
+        print(json.dumps({"diagnostics": findings}, indent=2))
+    elif total == 0:
+        print("no diagnostics")
+    return exit_code
 
 
 def _cmd_case_study(args: argparse.Namespace) -> int:
@@ -220,6 +276,8 @@ def _cmd_project(args: argparse.Namespace) -> int:
     config = AnalyzerConfig(path_bound=args.bound, partitioner=args.partitioner)
     if args.no_exhaustive:
         config.exhaustive_limit = None
+    if args.no_sa:
+        config.static_analysis = False
     _apply_mc_flags(config, args)
     cache = (
         ResultCache.disabled()
@@ -484,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-exhaustive", action="store_true",
         help="skip the exhaustive end-to-end comparison",
     )
+    analyze.add_argument(
+        "--no-sa", action="store_true",
+        help="skip the sound static pre-analysis (query prefilter, "
+        "loop-bound inference, diagnostics)",
+    )
     _add_mc_arguments(analyze)
     _add_fault_arguments(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
@@ -493,6 +556,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     case_study.add_argument("--bound", type=int, default=2, help="path bound b")
     case_study.set_defaults(handler=_cmd_case_study)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the static program diagnostics (SA001..SA005) over units",
+    )
+    lint.add_argument("files", nargs="+", help="mini-C source files")
+    lint.add_argument(
+        "--function", action="append", dest="functions", metavar="NAME",
+        help="restrict linting to this function (repeatable)",
+    )
+    lint.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the diagnostics as JSON instead of text",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     project = subparsers.add_parser(
         "project",
@@ -563,6 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
     project.add_argument(
         "--no-exhaustive", action="store_true",
         help="skip the exhaustive end-to-end comparison",
+    )
+    project.add_argument(
+        "--no-sa", action="store_true",
+        help="skip the sound static pre-analysis (query prefilter, "
+        "loop-bound inference, diagnostics); bounds are identical either "
+        "way, only more solver queries run",
     )
     project.add_argument(
         "--json", dest="json_output", metavar="PATH",

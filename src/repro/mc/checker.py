@@ -45,6 +45,10 @@ class ModelCheckerOptions:
     #: per-goal cone-of-influence slicing (off by default: the raw facade
     #: keeps full-model semantics for the optimisation benchmarks)
     slicing: bool = False
+    #: optional sound static prefilter (see
+    #: :class:`repro.sa.feasibility.StaticPrefilter`) answering goals as
+    #: UNREACHABLE before any solver work
+    prefilter: object | None = None
 
 
 class ModelChecker:
@@ -65,6 +69,7 @@ class ModelChecker:
                 symbolic=self._options.symbolic,
                 explicit=self._options.explicit,
                 explicit_bits_threshold=self._options.explicit_bits_threshold,
+                prefilter=self._options.prefilter,
             ),
         )
 

@@ -31,8 +31,8 @@ Every model-checking question the WCET tool chain asks ("reach this block",
 Progress is surfaced through :mod:`repro.perf`: counters ``mc.query.*``
 (planned / sliced / cache_hits / escalations / budget_exhausted /
 prefix_hits / witness_reuse / store_hits / store_misses / store_writes /
-replay_failures / solver_runs) and timers ``mc.plan`` / ``mc.slice`` /
-``mc.solve``.
+replay_failures / solver_runs / static_prunes) and timers ``mc.plan`` /
+``mc.slice`` / ``mc.solve``.
 """
 
 from __future__ import annotations
@@ -265,6 +265,11 @@ class QueryEngineOptions:
     #: explicit enumeration is attempted when the free state space of the
     #: (sliced) model has at most this many bits
     explicit_bits_threshold: int = 16
+    #: optional sound static prefilter (duck-typed, see
+    #: :class:`repro.sa.feasibility.StaticPrefilter`): anything exposing
+    #: ``goal_is_unreachable(goal, location_block) -> bool`` whose True
+    #: answers are *proofs* of unreachability
+    prefilter: object | None = None
 
 
 @dataclass
@@ -291,6 +296,8 @@ class QueryEngineStats:
     replay_failures: int = 0
     #: engine-portfolio stage executions (zero on a fully warm run)
     solver_runs: int = 0
+    #: goals settled UNREACHABLE by the static prefilter (no solver call)
+    static_prunes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -339,6 +346,23 @@ class QueryEngine:
         """Answer one reachability goal within the configured budget."""
         self.stats.planned += 1
         perf.add("mc.query.planned")
+
+        # 0. sound static prefilter: goals the interval analysis proved
+        #    unreachable are settled before slicing or any engine work.
+        #    Deliberately neither memoised nor persisted -- the proof is
+        #    free to recompute, and warm-run store gates (store_hits ==
+        #    planned) keep counting only solver-shaped queries.
+        prefilter = self._options.prefilter
+        if prefilter is not None and prefilter.goal_is_unreachable(
+            goal, self._translation.location_block
+        ):
+            self.stats.static_prunes += 1
+            perf.add("mc.query.static_prunes")
+            return CheckResult(
+                verdict=Verdict.UNREACHABLE,
+                statistics=self._empty_statistics(),
+                goal_description=goal.description,
+            )
 
         # 1. per-(slice content, goal) memo -- in-process; unlike the
         #    persistent store it also remembers UNKNOWN/BUDGET_EXHAUSTED

@@ -102,6 +102,37 @@ class GoalSlice:
         )
 
 
+def parse_label(label: str) -> tuple | None:
+    """Structured view of a transition label, or None for foreign formats.
+
+    The translator emits exactly two label shapes (see
+    :mod:`repro.transsys.translate`): ``block:<id>`` becomes
+    ``("block", id)`` and ``edge:<source>-><target>:<kind>`` becomes
+    ``("edge", source, target, kind)`` with *kind* the
+    :class:`~repro.cfg.graph.EdgeKind` value string.  Consumers that prove
+    facts from labels (the static prefilter) must treat ``None`` as
+    "unknown — assume nothing".
+    """
+    if label.startswith("block:"):
+        try:
+            return ("block", int(label[len("block:"):]))
+        except ValueError:
+            return None
+    if label.startswith("edge:"):
+        body = label[len("edge:"):]
+        head, sep, kind = body.rpartition(":")
+        if not sep or not kind:
+            return None
+        source_text, arrow, target_text = head.partition("->")
+        if not arrow:
+            return None
+        try:
+            return ("edge", int(source_text), int(target_text), kind)
+        except ValueError:
+            return None
+    return None
+
+
 def forward_reachable_locations(system) -> frozenset[int]:
     """Locations reachable from the initial location (goal-independent)."""
     successors: dict[int, list[int]] = {}

@@ -182,6 +182,20 @@ class PartitionResult:
             covered |= segment.block_ids
         return covered
 
+    def segments_within(self, block_ids: set[int] | frozenset) -> list[ProgramSegment]:
+        """Segments whose every block lies in *block_ids*.
+
+        With the statically-unreachable block set of
+        :mod:`repro.sa.feasibility` this yields the segments a sound static
+        pass already knows can never execute -- they need no measurement and
+        contribute nothing to the timing schema.
+        """
+        return [
+            segment
+            for segment in self.segments
+            if segment.block_ids <= block_ids
+        ]
+
     def validate(self, cfg: ControlFlowGraph) -> None:
         """Check global partition invariants.
 

@@ -48,6 +48,13 @@ Times the whole-pipeline trajectory on the synthetic applications:
   verdicts/witnesses, plus a cross-function pass on a renamed clone of
   the small application (content fingerprints ignore function names, so
   the clone hits the original's entries);
+* **static prefilter** (since ``repro-bench-perf/9``) -- the sound static
+  analysis of :mod:`repro.sa`: the cold industrial deep batch with and
+  without the interval-feasibility prefilter, required to return
+  bit-identical verdicts/witnesses while answering some goals with zero
+  solver work (``mc.query.static_prunes``), plus the cold pipeline over
+  the multi-function workload with and without static analysis --
+  bit-identical bounds gated, the overhead percentage reported only;
 * **observability** (since ``repro-bench-perf/7``) -- the tracing and
   metrics layer of :mod:`repro.obs`: a plain scheduler run versus the same
   run under a *disabled* ambient tracer (the tracing-off overhead of the
@@ -78,7 +85,7 @@ from .. import perf
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: report schema tag for downstream tooling
-BENCH_SCHEMA = "repro-bench-perf/8"
+BENCH_SCHEMA = "repro-bench-perf/9"
 
 #: block-reachability queries per model-checking timing batch
 MODELCHECK_QUERY_COUNT = 12
@@ -440,6 +447,131 @@ def _bench_query_store(
         "warm_identical": warm_identical,
         "cross_function_stats": clone_stats,
         "cross_function_hit_rate": hit_rate(clone_stats),
+    }
+    return timings, details
+
+
+def _bench_sa(
+    app, industrial_model
+) -> tuple[dict[str, float], dict[str, Any]]:
+    """Time the static prefilter (sa section, since ``repro-bench-perf/9``).
+
+    The cold industrial deep-query batch runs twice against fresh engines
+    and no query store: once without the prefilter and once with the
+    :class:`~repro.sa.feasibility.StaticPrefilter` of the industrial
+    function installed.  The prefiltered run must return bit-identical
+    verdicts and witnesses while answering some goals statically
+    (``static_prunes > 0``) and therefore executing strictly fewer solver
+    runs -- the sound-for-free gate of the sa arc.  Two costs are
+    reported, neither gated: the raw interval fixpoint over the 857-block
+    industrial CFG (``sa_prefilter_analysis``), and the end-to-end
+    pipeline overhead of leaving static analysis on -- the multi-function
+    workload analysed cold with and without it, where the pass should
+    stay in the low single-digit percents (bounds must be bit-identical
+    either way; that part *is* wired into ``results_match``).
+    """
+    from ..mc.property import GoalBuilder
+    from ..mc.query import QueryBudget, QueryEngine, QueryEngineOptions
+    from ..sa import analyze_feasibility
+    from ..sa.feasibility import StaticPrefilter
+
+    budget = QueryBudget(**MCQUERY_DEEP_BUDGET)
+    deep_targets = _block_targets(industrial_model, app.cfg, MCQUERY_DEEP_QUERIES)
+    deep_builder = GoalBuilder(
+        block_location=industrial_model.translation.block_location
+    )
+
+    prefilter_s, feasibility = _best_of(
+        1, lambda: analyze_feasibility(app.cfg, app.analyzed.table(app.function_name))
+    )
+    prefilter = StaticPrefilter(feasibility)
+
+    def deep_batch(active: StaticPrefilter | None):
+        engine = QueryEngine(
+            industrial_model.translation,
+            QueryEngineOptions(budget=budget, slicing=True, prefilter=active),
+        )
+        results = {}
+        for block_id in deep_targets:
+            results[block_id] = engine.check(deep_builder.reach_block(block_id))
+        return engine.stats.as_dict(), results
+
+    off_s, (off_stats, off_results) = _best_of(1, lambda: deep_batch(None))
+    on_s, (on_stats, on_results) = _best_of(1, lambda: deep_batch(prefilter))
+
+    def identical() -> bool:
+        for block_id, off in off_results.items():
+            on = on_results[block_id]
+            if on.verdict is not off.verdict:
+                return False
+            if (off.counterexample is None) != (on.counterexample is None):
+                return False
+            if off.counterexample is not None and (
+                on.counterexample.inputs != off.counterexample.inputs
+                or on.counterexample.initial_state
+                != off.counterexample.initial_state
+            ):
+                return False
+        return True
+
+    # end-to-end overhead: the full pipeline over the multi-function
+    # workload, cold, with and without static analysis.  The per-function
+    # sa pass is one interval fixpoint on a tiny CFG, so this is where
+    # the "low single-digit percents" claim actually lives.
+    from ..pipeline.analyzer import AnalyzerConfig, WcetAnalyzer
+    from ..minic import parse_and_analyze
+    from ..testgen.hybrid import HybridOptions
+    from ..workloads.multi import generate_multi_function_workload
+
+    workload = generate_multi_function_workload(seed=2005, functions=3, units=2)
+    analysed_units = [parse_and_analyze(s) for s in workload.sources.values()]
+
+    def pipeline_batch(sa_on: bool) -> dict[str, int]:
+        config = AnalyzerConfig(
+            path_bound=2,
+            hybrid=HybridOptions(
+                plateau_patterns=20, max_random_vectors=60, seed=1
+            ),
+            extra_random_vectors=5,
+            exhaustive_limit=None,
+            static_analysis=sa_on,
+        )
+        bounds: dict[str, int] = {}
+        for analyzed in analysed_units:
+            for function in analyzed.program.functions:
+                if function.body is None:
+                    continue
+                report = WcetAnalyzer(analyzed, function.name, config).analyze()
+                bounds[function.name] = report.wcet_bound_cycles
+        return bounds
+
+    pipeline_off_s, bounds_off = _best_of(1, lambda: pipeline_batch(False))
+    pipeline_on_s, bounds_on = _best_of(1, lambda: pipeline_batch(True))
+    pipeline_overhead = (
+        (pipeline_on_s - pipeline_off_s) / max(pipeline_off_s, 1e-9) * 100.0
+    )
+
+    timings = {
+        "sa_prefilter_analysis": prefilter_s,
+        "sa_deep_prefilter_off": off_s,
+        "sa_deep_prefilter_on": on_s,
+        "sa_pipeline_off": pipeline_off_s,
+        "sa_pipeline_on": pipeline_on_s,
+    }
+    details = {
+        "deep_queries": len(deep_targets),
+        "edges_pruned": len(feasibility.infeasible_edges),
+        "unreachable_blocks": len(feasibility.unreachable_blocks),
+        "stats_prefilter_off": off_stats,
+        "stats_prefilter_on": on_stats,
+        "static_prunes": on_stats["static_prunes"],
+        "solver_runs_off": off_stats["solver_runs"],
+        "solver_runs_on": on_stats["solver_runs"],
+        "solver_runs_reduced": on_stats["solver_runs"] < off_stats["solver_runs"],
+        "verdicts_identical": identical(),
+        "pipeline_bounds_identical": bounds_on == bounds_off,
+        "pipeline_overhead_percent": pipeline_overhead,
+        "prefilter_vs_deep_batch_percent": prefilter_s / max(off_s, 1e-9) * 100.0,
     }
     return timings, details
 
@@ -971,6 +1103,7 @@ def run_perf_bench(
     querystore_timings, querystore_details = _bench_query_store(
         app, small_app, industrial_model, small_model
     )
+    sa_timings, sa_details = _bench_sa(app, industrial_model)
     callgraph_timings, callgraph_details = _bench_callgraph_scheduling(seed)
     resilience_timings, resilience_details = _bench_resilience(seed)
     service_timings, service_details = _bench_service(seed)
@@ -1002,6 +1135,7 @@ def run_perf_bench(
             **pipeline_timings,
             **mcquery_timings,
             **querystore_timings,
+            **sa_timings,
             **callgraph_timings,
             **resilience_timings,
             **service_timings,
@@ -1020,6 +1154,7 @@ def run_perf_bench(
         "pipeline": pipeline_details,
         "mcquery": mcquery_details,
         "querystore": querystore_details,
+        "sa": sa_details,
         "callgraph": callgraph_details,
         "resilience": resilience_details,
         "service": service_details,
@@ -1027,6 +1162,10 @@ def run_perf_bench(
         "results_match": results_match
         and querystore_details["warm_zero_solver_runs"]
         and querystore_details["warm_identical"]
+        and sa_details["verdicts_identical"]
+        and sa_details["pipeline_bounds_identical"]
+        and sa_details["static_prunes"] > 0
+        and sa_details["solver_runs_reduced"]
         and resilience_details["clean_identical_under_empty_plan"]
         and resilience_details["clean_identical_under_armed_plan"]
         and resilience_details["bound_safety"]
@@ -1139,6 +1278,28 @@ def format_summary(report: dict[str, Any]) -> str:
             f"{'cross-function clone':<22} {'-':>12} "
             f"{timings['querystore_cross_function']:>11.4f}s "
             f"(hit rate {querystore['cross_function_hit_rate']:.2f})",
+        ]
+    sa_section = report.get("sa")
+    if sa_section:
+        lines += [
+            "static prefilter (sound interval feasibility):",
+            f"{'sa analysis':<22} {'-':>12} "
+            f"{timings['sa_prefilter_analysis']:>11.4f}s "
+            f"({sa_section['edges_pruned']} infeasible edge(s), "
+            f"{sa_section['unreachable_blocks']} unreachable block(s))",
+            f"{'deep batch unfiltered':<22} {'-':>12} "
+            f"{timings['sa_deep_prefilter_off']:>11.4f}s "
+            f"({sa_section['solver_runs_off']} solver runs)",
+            f"{'deep batch prefiltered':<22} {'-':>12} "
+            f"{timings['sa_deep_prefilter_on']:>11.4f}s "
+            f"({sa_section['solver_runs_on']} solver runs, "
+            f"{sa_section['static_prunes']} pruned statically, "
+            f"identical: {sa_section['verdicts_identical']})",
+            f"{'pipeline sa off/on':<22} "
+            f"{timings['sa_pipeline_off']:>11.4f}s "
+            f"{timings['sa_pipeline_on']:>11.4f}s "
+            f"(overhead {sa_section['pipeline_overhead_percent']:+.1f}%, "
+            f"bounds identical: {sa_section['pipeline_bounds_identical']})",
         ]
     callgraph = report.get("callgraph")
     if callgraph:

@@ -71,6 +71,12 @@ class AnalyzerConfig:
     extra_random_vectors: int = 50
     #: interpreter step budget per run
     max_steps_per_run: int = 1_000_000
+    #: run the sound static-analysis pass (``repro.sa``): branch-feasibility
+    #: prefiltering of model-checking queries, static loop-bound inference
+    #: and program diagnostics.  Verdicts and bounds are identical either
+    #: way -- the pass only removes provably-useless solver work and
+    #: tightens provably-exact loop bounds.
+    static_analysis: bool = True
 
 
 def _partition_function(function, cfg, config: AnalyzerConfig):
@@ -220,6 +226,29 @@ class WcetAnalyzer:
         function = self._analyzed.program.function(self._function)
         cfg = build_cfg(function)
 
+        # 0. sound static analysis: branch feasibility (feeding the query
+        #    engine's prefilter), exact loop bounds and program diagnostics.
+        #    Skippable (--no-sa) and verdict-preserving by construction, so
+        #    the measured bound is bit-identical either way.
+        sa_result = None
+        if config.static_analysis:
+            from ..sa import run_static_analysis
+
+            with obs.span("analyze.sa", function=self._function):
+                sa_result = run_static_analysis(
+                    cfg, self._analyzed.table(self._function)
+                )
+            config = dataclasses.replace(
+                config,
+                hybrid=dataclasses.replace(
+                    config.hybrid,
+                    model_checking=dataclasses.replace(
+                        config.hybrid.model_checking,
+                        prefilter=sa_result.prefilter,
+                    ),
+                ),
+            )
+
         # 1. partition the CFG into program segments
         with obs.span("analyze.partition", function=self._function):
             partition = _partition_function(function, cfg, config)
@@ -308,6 +337,9 @@ class WcetAnalyzer:
                 or 1,
                 callee_bounds=self._callee_bounds,
                 call_overhead=cost_model.call_overhead,
+                inferred_loop_bounds=(
+                    sa_result.loop_bounds if sa_result is not None else None
+                ),
             )
             bound = schema.compute(
                 database,
@@ -357,6 +389,17 @@ class WcetAnalyzer:
             mc_diagnostics=dict(suite.mc_diagnostics),
             degraded=floors is not None,
             fault_events=fault_events,
+            sa_diagnostics=(
+                [diagnostic.to_dict() for diagnostic in sa_result.diagnostics]
+                if sa_result is not None
+                else []
+            ),
+            sa_edges_pruned=(
+                sa_result.edges_pruned if sa_result is not None else 0
+            ),
+            sa_loop_bounds_inferred=(
+                len(sa_result.loop_bounds) if sa_result is not None else 0
+            ),
             generator_statistics={
                 "random_targets": len(suite.targets_by_source(CoverageSource.RANDOM)),
                 "genetic_targets": len(suite.targets_by_source(CoverageSource.GENETIC)),

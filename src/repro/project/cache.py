@@ -63,8 +63,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 #: /4 added the resilience fields (degraded/quarantined/retries) to
 #: :class:`FunctionSummary` payloads; /5 added the ``kind`` discriminator
 #: and the model-checking query namespace (persisted per-(slice, goal)
-#: verdicts + witnesses, see :mod:`repro.mc.store`)
-CACHE_SCHEMA = "repro-project-cache/5"
+#: verdicts + witnesses, see :mod:`repro.mc.store`); /6 added the
+#: static-analysis fields (sa_diagnostics/sa_edges_pruned/
+#: sa_loop_bounds_inferred) to :class:`FunctionSummary` payloads
+CACHE_SCHEMA = "repro-project-cache/6"
 
 #: sibling directory quarantined (corrupt) entries are moved into
 CORRUPT_DIR = "corrupt"

@@ -23,8 +23,9 @@ from ..wcet.report import WcetReport
 #: /4 added the resilience section (quarantined/degraded/retries/pool
 #: restarts, fault plan, diagnostics); /5 added the observability section
 #: (trace id/span count of a traced run) and flight-recorder dump records
-#: under resilience
-PROJECT_REPORT_SCHEMA = "repro-project-report/5"
+#: under resilience; /6 added the static_analysis section and per-function
+#: sa fields (diagnostics, pruned edges, inferred loop bounds)
+PROJECT_REPORT_SCHEMA = "repro-project-report/6"
 
 
 @dataclass
@@ -73,6 +74,12 @@ class FunctionSummary:
     retries: int = 0
     #: descriptions of injected faults / degradations observed during the job
     fault_events: list[str] = field(default_factory=list)
+    #: static-analysis program diagnostics (``repro.sa``) as plain dicts
+    sa_diagnostics: list[dict] = field(default_factory=list)
+    #: CFG edges the static feasibility pass proved infeasible
+    sa_edges_pruned: int = 0
+    #: loop headers whose bound the static pass inferred exactly
+    sa_loop_bounds_inferred: int = 0
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -104,6 +111,9 @@ class FunctionSummary:
             if report.degraded
             else None,
             fault_events=list(report.fault_events),
+            sa_diagnostics=[dict(d) for d in report.sa_diagnostics],
+            sa_edges_pruned=report.sa_edges_pruned,
+            sa_loop_bounds_inferred=report.sa_loop_bounds_inferred,
         )
 
     # ------------------------------------------------------------------ #
@@ -237,6 +247,28 @@ class ProjectReport:
     def total_retries(self) -> int:
         return sum(summary.retries for summary in self.functions)
 
+    @property
+    def total_sa_edges_pruned(self) -> int:
+        """CFG edges proven infeasible by the static pass across the batch."""
+        return sum(summary.sa_edges_pruned for summary in self.functions)
+
+    @property
+    def total_sa_loop_bounds_inferred(self) -> int:
+        return sum(summary.sa_loop_bounds_inferred for summary in self.functions)
+
+    @property
+    def total_sa_diagnostics(self) -> int:
+        return sum(len(summary.sa_diagnostics) for summary in self.functions)
+
+    def sa_diagnostics_by_severity(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}`` over the whole batch."""
+        counts: dict[str, int] = {}
+        for summary in self.functions:
+            for diagnostic in summary.sa_diagnostics:
+                severity = diagnostic.get("severity", "info")
+                counts[severity] = counts.get(severity, 0) + 1
+        return counts
+
     def function_payloads(self) -> list[dict[str, Any]]:
         """Per-function result payloads (the serial-vs-parallel invariant)."""
         return [summary.result_payload() for summary in self.functions]
@@ -282,6 +314,12 @@ class ProjectReport:
                 "trace_spans": self.trace_spans,
                 "flight_dumps": len(self.flight_dumps),
             },
+            "static_analysis": {
+                "edges_pruned": self.total_sa_edges_pruned,
+                "loop_bounds_inferred": self.total_sa_loop_bounds_inferred,
+                "diagnostics": self.total_sa_diagnostics,
+                "diagnostics_by_severity": self.sa_diagnostics_by_severity(),
+            },
             "interprocedural": {
                 "summary_reuse_calls": self.summary_reuse_calls,
                 "callgraph": self.callgraph,
@@ -320,6 +358,28 @@ class ProjectReport:
                 f"  mc budget exhausted       : "
                 f"{self.total_budget_exhausted_queries} query(ies) "
                 "(segments pessimised, not hung)"
+            )
+        if (
+            self.total_sa_edges_pruned
+            or self.total_sa_loop_bounds_inferred
+            or self.total_sa_diagnostics
+        ):
+            by_severity = self.sa_diagnostics_by_severity()
+            severity_text = (
+                " ("
+                + ", ".join(
+                    f"{count} {severity}"
+                    for severity, count in sorted(by_severity.items())
+                )
+                + ")"
+                if by_severity
+                else ""
+            )
+            lines.append(
+                f"  static analysis           : "
+                f"{self.total_sa_edges_pruned} edge(s) pruned, "
+                f"{self.total_sa_loop_bounds_inferred} loop bound(s) inferred, "
+                f"{self.total_sa_diagnostics} diagnostic(s){severity_text}"
             )
         if self.fault_plan:
             lines.append(

@@ -528,6 +528,22 @@ class ProjectScheduler:
             summary.summarised_call_sites for summary in summaries
         )
         perf.add("project.scheduler.summary_reuse_calls", reused_calls)
+        # static-analysis totals for cache-served summaries: fresh in-process
+        # jobs already bumped the sa.* counters inside run_static_analysis,
+        # so only results answered from the cache are accounted here
+        cached = [summary for summary in summaries if summary.from_cache]
+        perf.add(
+            "sa.edges_pruned",
+            sum(summary.sa_edges_pruned for summary in cached),
+        )
+        perf.add(
+            "sa.loop_bounds_inferred",
+            sum(summary.sa_loop_bounds_inferred for summary in cached),
+        )
+        perf.add(
+            "sa.diagnostics",
+            sum(len(summary.sa_diagnostics) for summary in cached),
+        )
         return ProjectReport(
             functions=summaries,
             failures=failures,

@@ -1,0 +1,245 @@
+"""Program diagnostics derived from the static analyses.
+
+Stable codes, one rule per code:
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+SA001     error     read of a variable that is uninitialised on every path
+SA001     warning   read of a variable that is uninitialised on some path
+SA002     warning   statically unreachable code (interval-infeasible)
+SA003     error     division/modulo by a divisor that is always zero
+SA003     warning   division/modulo by a divisor that may be zero
+SA004     warning   signed fixed-width arithmetic that may wrap
+SA005     info      branch condition with a statically constant value
+========  ========  ====================================================
+
+Severities order ``error > warning > info``; the CLI ``lint`` subcommand exits
+non-zero exactly when an ``error`` diagnostic exists.  The seeded workloads
+are expected to be error-free — ``tests/test_sa.py`` pins that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..analysis.liveness import block_liveness
+from ..analysis.reaching import Definition, reaching_definitions
+from ..analysis.usedef import cfg_use_defs
+from ..cfg.graph import ControlFlowGraph
+from ..minic.ast_nodes import DeclStmt
+from ..minic.symbols import FunctionSymbolTable, SymbolKind
+from .feasibility import FeasibilityResult
+
+SEVERITIES = ("error", "warning", "info")
+_SEVERITY_ORDER = {name: index for index, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static-diagnostics layer."""
+
+    code: str
+    severity: str
+    message: str
+    function: str
+    line: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    return (
+        _SEVERITY_ORDER.get(diagnostic.severity, len(SEVERITIES)),
+        diagnostic.code,
+        diagnostic.line if diagnostic.line is not None else 1 << 30,
+        diagnostic.message,
+    )
+
+
+def _line_of(node) -> int | None:
+    location = getattr(node, "location", None)
+    return getattr(location, "line", None)
+
+
+def diagnose(
+    cfg: ControlFlowGraph,
+    table: FunctionSymbolTable,
+    feasibility: FeasibilityResult,
+) -> list[Diagnostic]:
+    """All diagnostics for one function, most severe first."""
+    function = table.function.name
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_uninitialized_uses(cfg, table, function))
+    # SA002 is double-checked by an independent graph walk: a block is only
+    # reported when the fixpoint's verdict agrees with plain reachability
+    # over the CFG minus the proven-infeasible edges
+    graph_reachable = cfg.reachable_blocks(
+        infeasible_edges=feasibility.infeasible_edges
+    )
+    for block_id in sorted(feasibility.unreachable_blocks):
+        if block_id in graph_reachable:
+            continue
+        block = cfg.block(block_id)
+        diagnostics.append(
+            Diagnostic(
+                code="SA002",
+                severity="warning",
+                message=f"block {block.label()} is statically unreachable",
+                function=function,
+                line=block.source_line,
+            )
+        )
+    for event in feasibility.events:
+        if event.kind == "div_zero":
+            diagnostics.append(
+                Diagnostic(
+                    code="SA003",
+                    severity="error" if event.definite else "warning",
+                    message=(
+                        f"divisor of '{event.op}' is always zero"
+                        if event.definite
+                        else f"divisor of '{event.op}' may be zero"
+                    ),
+                    function=function,
+                    line=event.line,
+                )
+            )
+        elif event.kind == "overflow":
+            diagnostics.append(
+                Diagnostic(
+                    code="SA004",
+                    severity="warning",
+                    message=f"signed '{event.op}' result may wrap around",
+                    function=function,
+                    line=event.line,
+                )
+            )
+    for branch in feasibility.constant_branches:
+        diagnostics.append(
+            Diagnostic(
+                code="SA005",
+                severity="info",
+                message=(
+                    "branch condition is always "
+                    + ("true" if branch.value else "false")
+                ),
+                function=function,
+                line=branch.line,
+            )
+        )
+    diagnostics.sort(key=sort_key)
+    return diagnostics
+
+
+def _uninitialized_uses(
+    cfg: ControlFlowGraph, table: FunctionSymbolTable, function: str
+) -> list[Diagnostic]:
+    """SA001: local-variable reads not covered by an initialising write."""
+    candidates = {
+        name
+        for name, symbol in table.variables.items()
+        if symbol.kind is SymbolKind.LOCAL and not symbol.is_input
+    }
+    if not candidates:
+        return []
+    reaching = reaching_definitions(cfg)
+    use_defs = cfg_use_defs(cfg)
+
+    # invert def-use chains into per-(site, variable) reaching definitions
+    site_defs: dict[tuple[tuple[int, int], str], set[Definition]] = {}
+    for definition, sites in reaching.uses.items():
+        for site in sites:
+            site_defs.setdefault((site, definition.variable), set()).add(definition)
+
+    def initialising(definition: Definition) -> bool:
+        if definition.statement_index < 0:
+            return True  # terminator conditions never define, be permissive
+        stmt = cfg.block(definition.block_id).statements[definition.statement_index]
+        return not (isinstance(stmt, DeclStmt) and stmt.init is None)
+
+    diagnostics: list[Diagnostic] = []
+    reported: set[tuple[str, int, int]] = set()
+    for block in cfg.blocks():
+        block_id = block.block_id
+        per_statement = use_defs.statements(block_id)
+        sites: list[tuple[int, frozenset[str], int | None]] = [
+            (index, use_def.uses, _line_of(block.statements[index]))
+            for index, use_def in enumerate(per_statement)
+        ]
+        condition_uses = use_defs.condition_uses(block_id)
+        if condition_uses:
+            condition = block.terminator.condition
+            sites.append((-1, condition_uses, _line_of(condition) if condition else None))
+        for index, uses, line in sites:
+            for name in uses & candidates:
+                key = (name, block_id, index)
+                if key in reported:
+                    continue
+                reported.add(key)
+                reaching_defs = site_defs.get(((block_id, index), name), set())
+                live = [d for d in reaching_defs if initialising(d)]
+                if not live:
+                    diagnostics.append(
+                        Diagnostic(
+                            code="SA001",
+                            severity="error",
+                            message=f"'{name}' is read but never initialised",
+                            function=function,
+                            line=line,
+                        )
+                    )
+                elif len(live) < len(reaching_defs):
+                    diagnostics.append(
+                        Diagnostic(
+                            code="SA001",
+                            severity="warning",
+                            message=f"'{name}' may be read uninitialised",
+                            function=function,
+                            line=line,
+                        )
+                    )
+
+    # belt and suspenders: anything live at function entry is read before
+    # any write on some path (covers flows the def-use inversion misses)
+    liveness = block_liveness(cfg)
+    live_at_entry = liveness.live_in.get(cfg.entry.block_id, frozenset())
+    flagged = {d.message.split("'")[1] for d in diagnostics}
+    for name in sorted((live_at_entry & candidates) - flagged):
+        diagnostics.append(
+            Diagnostic(
+                code="SA001",
+                severity="warning",
+                message=f"'{name}' may be read uninitialised",
+                function=function,
+            )
+        )
+    return diagnostics
+
+
+def diagnostics_payload(diagnostics: list[Diagnostic]) -> list[dict]:
+    return [diagnostic.to_dict() for diagnostic in sorted(diagnostics, key=sort_key)]
+
+
+def render_diagnostics(diagnostics: list[Diagnostic]) -> str:
+    """Compiler-style one-line-per-finding text rendering."""
+    lines = []
+    for diagnostic in sorted(diagnostics, key=sort_key):
+        where = diagnostic.function
+        if diagnostic.line is not None:
+            where += f":{diagnostic.line}"
+        lines.append(
+            f"{where}: {diagnostic.severity}: "
+            f"{diagnostic.code} {diagnostic.message}"
+        )
+    return "\n".join(lines)
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> str | None:
+    """The most severe level present, or None for a clean run."""
+    present = {diagnostic.severity for diagnostic in diagnostics}
+    for severity in SEVERITIES:
+        if severity in present:
+            return severity
+    return None

@@ -1,0 +1,172 @@
+"""Static loop-bound inference for counted ``for`` loops.
+
+``TimingSchema`` charges every loop its ``#pragma loopbound`` or a flat
+default.  For the classic counted loop
+
+.. code-block:: c
+
+    for (i = a; i < b; i = i + c) { ... }
+
+with literal ``a``/``b``/``c`` and a counter the body never touches, the exact
+iteration count is computable statically; this module proves it and feeds it
+to the schema (precedence: pragma > inferred > default).
+
+The inference is deliberately conservative — it refuses whenever
+
+* the counter is written anywhere in the body (including nested statements),
+* the counter is a global (a called function could write it) or an analysis
+  input,
+* the stride could leave the counter's type range before the exit test fails
+  (two's-complement wrap would restart the count), or
+* init/condition/step do not constant-fold to the supported shape.
+
+A refusal merely keeps the existing default; an accepted bound is exact.
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import ControlFlowGraph, TerminatorKind
+from ..minic.ast_nodes import (
+    AssignExpr,
+    BinaryOp,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    Identifier,
+    IntLiteral,
+    Stmt,
+)
+from ..minic.folding import fold_expr
+from ..minic.symbols import FunctionSymbolTable, SymbolKind
+
+
+def _as_constant(expr: Expr | None) -> int | None:
+    if expr is None:
+        return None
+    folded = fold_expr(expr)
+    if isinstance(folded, IntLiteral):
+        return folded.value
+    return None
+
+
+def _counter_and_start(init: Stmt | Expr | None) -> tuple[str, int] | None:
+    """``i = a`` (or ``int i = a``) → ``(i, a)``."""
+    if isinstance(init, DeclStmt):
+        start = _as_constant(init.init)
+        if start is None:
+            return None
+        return init.name, start
+    expr = getattr(init, "expr", init)
+    if isinstance(expr, AssignExpr) and isinstance(expr.target, Identifier):
+        start = _as_constant(expr.value)
+        if start is None:
+            return None
+        return expr.target.name, start
+    return None
+
+
+def _limit(cond: Expr | None, counter: str) -> tuple[str, int] | None:
+    """``i < b`` / ``i <= b`` / ``i > b`` / ``i >= b`` → ``(op, b)``."""
+    if not isinstance(cond, BinaryOp) or cond.op not in ("<", "<=", ">", ">="):
+        return None
+    if isinstance(cond.left, Identifier) and cond.left.name == counter:
+        bound = _as_constant(cond.right)
+        if bound is None:
+            return None
+        return cond.op, bound
+    if isinstance(cond.right, Identifier) and cond.right.name == counter:
+        bound = _as_constant(cond.left)
+        if bound is None:
+            return None
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[cond.op]
+        return flipped, bound
+    return None
+
+
+def _stride(step: Expr | None, counter: str) -> int | None:
+    """``i = i + c`` / ``i = i - c`` / ``i = c + i`` → signed stride."""
+    if not isinstance(step, AssignExpr) or not isinstance(step.target, Identifier):
+        return None
+    if step.target.name != counter:
+        return None
+    value = step.value
+    if not isinstance(value, BinaryOp) or value.op not in ("+", "-"):
+        return None
+    if isinstance(value.left, Identifier) and value.left.name == counter:
+        amount = _as_constant(value.right)
+    elif (
+        value.op == "+"
+        and isinstance(value.right, Identifier)
+        and value.right.name == counter
+    ):
+        amount = _as_constant(value.left)
+    else:
+        return None
+    if amount is None or amount <= 0:
+        return None
+    return amount if value.op == "+" else -amount
+
+
+def _iterations(start: int, op: str, bound: int, stride: int) -> int | None:
+    """Number of times the body runs, or None when the shape diverges."""
+    if stride > 0 and op in ("<", "<="):
+        limit = bound if op == "<=" else bound - 1
+        if start > limit:
+            return 0
+        return (limit - start) // stride + 1
+    if stride < 0 and op in (">", ">="):
+        limit = bound if op == ">=" else bound + 1
+        if start < limit:
+            return 0
+        return (start - limit) // (-stride) + 1
+    return None
+
+
+def infer_loop_bounds(
+    cfg: ControlFlowGraph, table: FunctionSymbolTable
+) -> dict[int, int]:
+    """Proven iteration counts keyed by loop-header block id."""
+    bounds: dict[int, int] = {}
+    for block in cfg.blocks():
+        terminator = block.terminator
+        if terminator.kind is not TerminatorKind.BRANCH:
+            continue
+        anchor = terminator.ast_node
+        if not isinstance(anchor, ForStmt):
+            continue
+        parsed = _counter_and_start(anchor.init)
+        if parsed is None:
+            continue
+        counter, start = parsed
+        symbol = table.variables.get(counter)
+        if symbol is None or symbol.is_input:
+            continue
+        if symbol.kind not in (SymbolKind.LOCAL, SymbolKind.PARAMETER):
+            continue  # globals may be rewritten by callees
+        limit = _limit(anchor.cond, counter)
+        stride = _stride(anchor.step, counter)
+        if limit is None or stride is None:
+            continue
+        if _body_writes(anchor.body, counter):
+            continue
+        op, bound = limit
+        iterations = _iterations(start, op, bound, stride)
+        if iterations is None:
+            continue
+        # the counter must stay representable for the whole count, otherwise
+        # wrap-around restarts it and the arithmetic above is meaningless
+        type_range = symbol.ctype.value_range()
+        final = start + iterations * stride
+        if not (start in type_range and final in type_range):
+            continue
+        bounds[block.block_id] = iterations
+    return bounds
+
+
+def _body_writes(body: Stmt, counter: str) -> bool:
+    for node in body.walk():
+        if isinstance(node, DeclStmt) and node.name == counter:
+            return True
+        if isinstance(node, AssignExpr) and node.target.name == counter:
+            return True
+    return False

@@ -82,6 +82,9 @@ class ModelCheckGeneratorOptions:
     #: prefix-probe policy of the query plan: "adaptive" (payoff heuristic)
     #: or "fixed" (the historical >= 3-sharers threshold)
     probe_policy: str = PROBE_POLICY_ADAPTIVE
+    #: optional sound static prefilter handed down to the query engine
+    #: (see :class:`repro.sa.feasibility.StaticPrefilter`)
+    prefilter: object | None = None
 
 
 class ModelCheckingTestDataGenerator:
@@ -155,7 +158,17 @@ class ModelCheckingTestDataGenerator:
             engine=self._options.engine,
             budget=self._options.budget,
             slicing=self._options.slicing,
+            prefilter=self._options.prefilter,
         )
+        if (
+            checker_options.prefilter is None
+            and self._options.prefilter is not None
+        ):
+            from dataclasses import replace as dc_replace
+
+            checker_options = dc_replace(
+                checker_options, prefilter=self._options.prefilter
+            )
         self._checker = ModelChecker(model.translation, checker_options)
         return self._checker
 

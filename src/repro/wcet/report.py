@@ -43,6 +43,13 @@ class WcetReport:
     degraded: bool = False
     #: diagnostics of the faults/degradations observed during the analysis
     fault_events: list[str] = field(default_factory=list)
+    #: program diagnostics from the static analysis pass (``repro.sa``),
+    #: as :meth:`repro.sa.diagnostics.Diagnostic.to_dict` payloads
+    sa_diagnostics: list[dict] = field(default_factory=list)
+    #: CFG edges the static feasibility pass proved infeasible
+    sa_edges_pruned: int = 0
+    #: loop headers whose bound the static pass inferred exactly
+    sa_loop_bounds_inferred: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -105,6 +112,12 @@ class WcetReport:
                     f"  mc budget exhausted       : {exhausted} "
                     "(targets pessimised, not hung)"
                 )
+        if self.sa_edges_pruned or self.sa_loop_bounds_inferred or self.sa_diagnostics:
+            lines.append(
+                f"  static analysis           : {self.sa_edges_pruned} edge(s) "
+                f"proven infeasible, {self.sa_loop_bounds_inferred} loop "
+                f"bound(s) inferred, {len(self.sa_diagnostics)} diagnostic(s)"
+            )
         if self.degraded:
             lines.append(
                 "  DEGRADED result           : faults forced static "

@@ -152,6 +152,7 @@ class TimingSchema:
         default_loop_bound: int = DEFAULT_LOOP_BOUND,
         callee_bounds: Mapping[str, int] | None = None,
         call_overhead: int = 0,
+        inferred_loop_bounds: Mapping[int, int] | None = None,
     ):
         """``callee_bounds`` maps summarised callee names to their WCET bound.
 
@@ -160,12 +161,18 @@ class TimingSchema:
         the measurement campaign charges those calls through the board's
         stubbed cost model, but if the worst call-bearing path of a segment
         escaped measurement the static floor keeps the schema conservative.
+
+        ``inferred_loop_bounds`` maps loop-header block ids to iteration
+        counts *proven* by :func:`repro.sa.loopbounds.infer_loop_bounds`.
+        Precedence per loop: an explicit ``#pragma loopbound`` wins, then an
+        inferred bound, then ``default_loop_bound``.
         """
         self._cfg = cfg
         self._partition = partition
         self._default_loop_bound = default_loop_bound
         self._callee_bounds = dict(callee_bounds or {})
         self._call_overhead = call_overhead
+        self._inferred_loop_bounds = dict(inferred_loop_bounds or {})
 
     # ------------------------------------------------------------------ #
     def compute(
@@ -365,6 +372,9 @@ class TimingSchema:
         anchor = block.terminator.ast_node
         if isinstance(anchor, (WhileStmt, DoWhileStmt, ForStmt)) and anchor.loop_bound:
             return anchor.loop_bound
+        inferred = self._inferred_loop_bounds.get(header_block_id)
+        if inferred is not None:
+            return inferred
         return self._default_loop_bound
 
     def _segment_graph(self) -> dict[int, list[int]]:

@@ -246,7 +246,7 @@ class TestSchedulerSerial:
         )
         payload = report.to_dict()
         assert payload["totals"]["functions"] == len(workload.functions)
-        assert payload["schema"] == "repro-project-report/5"
+        assert payload["schema"] == "repro-project-report/6"
         assert payload["execution"]["waves"] == 1
         assert payload["execution"]["fallback_reason"] is None
 

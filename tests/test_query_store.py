@@ -363,11 +363,16 @@ QUICK_HYBRID = HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1)
 
 
 def quick_config(**overrides) -> AnalyzerConfig:
+    # static analysis is off here on purpose: the prefilter proves every
+    # residual MC query on this tiny workload unreachable without the
+    # solver, leaving nothing for the query store to persist -- and these
+    # tests exist to exercise the store
     options = dict(
         path_bound=2,
         hybrid=QUICK_HYBRID,
         extra_random_vectors=5,
         exhaustive_limit=None,
+        static_analysis=False,
     )
     options.update(overrides)
     return AnalyzerConfig(**options)

@@ -47,11 +47,15 @@ QUICK_HYBRID = HybridOptions(plateau_patterns=20, max_random_vectors=60, seed=1)
 
 
 def quick_config(**overrides) -> AnalyzerConfig:
+    # static analysis is off: the prefilter answers this tiny workload's
+    # residual MC queries without the solver, so fault sites like mc.solve
+    # would never fire -- and these tests exist to exercise exactly those
     options = dict(
         path_bound=2,
         hybrid=QUICK_HYBRID,
         extra_random_vectors=5,
         exhaustive_limit=None,
+        static_analysis=False,
     )
     options.update(overrides)
     return AnalyzerConfig(**options)
